@@ -1,0 +1,63 @@
+#include "bench_util.h"
+
+#include <memory>
+
+#include "core/fedgpo.h"
+#include "optim/abs_drl.h"
+#include "optim/bayesian.h"
+#include "optim/fedex.h"
+#include "optim/fixed.h"
+#include "optim/genetic.h"
+
+namespace fedgpo {
+namespace benchutil {
+
+std::vector<std::pair<std::string, exp::CampaignResult>>
+runComparison(const exp::Scenario &scenario,
+              const std::vector<Policy> &policies)
+{
+    const int rounds = comparisonRounds();
+    std::vector<std::pair<std::string, exp::CampaignResult>> out;
+    for (Policy which : policies) {
+        std::unique_ptr<optim::ParamOptimizer> policy;
+        bool warm = true;
+        switch (which) {
+          case Policy::FixedBest:
+            policy = std::make_unique<optim::FixedOptimizer>(
+                bestFixed(scenario), "Fixed (Best)");
+            warm = false;  // its "warmup" is the offline grid search
+            break;
+          case Policy::Bo:
+            policy =
+                std::make_unique<optim::BayesianOptimizer>(scenario.seed);
+            break;
+          case Policy::Ga:
+            policy =
+                std::make_unique<optim::GeneticOptimizer>(scenario.seed);
+            break;
+          case Policy::FedGpo: {
+            core::FedGpoConfig config;
+            config.seed = scenario.seed;
+            policy = std::make_unique<core::FedGpo>(config);
+            break;
+          }
+          case Policy::FedEx:
+            policy = std::make_unique<optim::FedExOptimizer>(scenario.seed);
+            break;
+          case Policy::Abs:
+            policy = std::make_unique<optim::AbsOptimizer>(scenario.seed);
+            break;
+        }
+        const int warmup = which == Policy::FedGpo ? warmupRounds()
+                                                   : shortWarmupRounds();
+        auto result =
+            warm ? exp::runCampaignWithWarmup(scenario, *policy, warmup,
+                                              rounds)
+                 : exp::runCampaign(scenario, *policy, rounds);
+        out.emplace_back(policy->name(), std::move(result));
+    }
+    return out;
+}
+
+} // namespace benchutil
+} // namespace fedgpo

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 3: per-round training time of the H/M/L device categories as a
+ * function of (a) the local batch size B and (b) the local epoch count E
+ * — the straggler problem.
+ *
+ * Paper shape: large inter-tier gaps at every setting; time normalized
+ * to H at B = 1 (panel a) and to H at E = 10 (panel b); E has a linear
+ * impact; B's impact depends on the tier's compute/memory capability.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/action_space.h"
+#include "device/cost_model.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+namespace {
+
+double
+roundTime(device::Category cat, int batch, int epochs)
+{
+    device::LocalWorkSpec work;
+    auto model = models::buildModel(models::Workload::CnnMnist, 7);
+    work.train_flops_per_sample = model->trainFlopsPerSample();
+    work.samples = 25;
+    work.batch = batch;
+    work.epochs = epochs;
+    work.param_bytes = model->paramBytes();
+    device::InterferenceState calm;
+    device::NetworkState net;
+    return device::clientRoundCost(
+               device::profileFor(cat),
+               device::costFor(models::Workload::CnnMnist), work, calm,
+               net)
+        .t_round;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner(
+        "Figure 3: per-round training time vs B and E per device tier",
+        "tier gaps of ~2-4x at every setting; E linear; small B "
+        "underutilizes, large B pressures memory on low tiers");
+
+    // Panel (a): sweep B at E = 10, normalized to H at B = 1.
+    util::Table ta({"B", "H", "M", "L"});
+    const double ref_a = roundTime(device::Category::High, 1, 10);
+    for (int b : core::kBatchSet) {
+        ta.addRow({std::to_string(b),
+                   util::fmt(roundTime(device::Category::High, b, 10) /
+                                 ref_a, 2),
+                   util::fmt(roundTime(device::Category::Mid, b, 10) /
+                                 ref_a, 2),
+                   util::fmt(roundTime(device::Category::Low, b, 10) /
+                                 ref_a, 2)});
+    }
+    ta.print(std::cout,
+             "Figure 3(a): round time vs B (normalized to H at B=1)");
+    ta.writeCsv("fig03a_straggler_batch.csv");
+
+    // Panel (b): sweep E at B = 8, normalized to H at E = 10.
+    util::Table tb({"E", "H", "M", "L"});
+    const double ref_b = roundTime(device::Category::High, 8, 10);
+    for (int e : core::kEpochSet) {
+        tb.addRow({std::to_string(e),
+                   util::fmt(roundTime(device::Category::High, 8, e) /
+                                 ref_b, 2),
+                   util::fmt(roundTime(device::Category::Mid, 8, e) /
+                                 ref_b, 2),
+                   util::fmt(roundTime(device::Category::Low, 8, e) /
+                                 ref_b, 2)});
+    }
+    std::cout << "\n";
+    tb.print(std::cout,
+             "Figure 3(b): round time vs E (normalized to H at E=10)");
+    tb.writeCsv("fig03b_straggler_epochs.csv");
+    return 0;
+}

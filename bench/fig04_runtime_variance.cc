@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 4: runtime variance exacerbates the straggler problem — the
+ * per-round time of each tier (a) without variance, (b) with on-device
+ * interference, and (c) with an unstable network, normalized to H in the
+ * absence of variance.
+ *
+ * Paper shape: interference widens the compute-time gaps (more on weaker
+ * tiers); network instability inflates communication time for everyone
+ * and adds a heavy tail.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "device/cost_model.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+namespace {
+
+/** Mean round time of a tier over many stochastic draws. */
+double
+meanRoundTime(device::Category cat, bool interference, bool bad_network,
+              std::uint64_t seed)
+{
+    auto model = models::buildModel(models::Workload::CnnMnist, 7);
+    device::LocalWorkSpec work;
+    work.train_flops_per_sample = model->trainFlopsPerSample();
+    work.samples = 25;
+    work.batch = 8;
+    work.epochs = 10;
+    work.param_bytes = model->paramBytes();
+
+    util::Rng rng(seed);
+    device::InterferenceProcess interf(interference, /*prob_active=*/0.7);
+    device::NetworkModel net(bad_network);
+    util::RunningStat stat;
+    for (int i = 0; i < 400; ++i) {
+        auto istate = interf.step(rng);
+        auto nstate = net.sample(rng);
+        stat.add(device::clientRoundCost(
+                     device::profileFor(cat),
+                     device::costFor(models::Workload::CnnMnist), work,
+                     istate, nstate)
+                     .t_round);
+    }
+    return stat.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner(
+        "Figure 4: runtime variance exacerbates the straggler problem",
+        "interference widens tier gaps; unstable network inflates "
+        "communication time; normalized to H without variance");
+
+    const double ref = meanRoundTime(device::Category::High, false, false,
+                                     1);
+    util::Table table({"scenario", "H", "M", "L", "L/H gap"});
+    struct Row
+    {
+        const char *name;
+        bool interference;
+        bool network;
+    };
+    const Row rows[] = {
+        {"(a) no variance", false, false},
+        {"(b) on-device interference", true, false},
+        {"(c) unstable network", false, true},
+    };
+    for (const auto &row : rows) {
+        const double h = meanRoundTime(device::Category::High,
+                                       row.interference, row.network, 2);
+        const double m = meanRoundTime(device::Category::Mid,
+                                       row.interference, row.network, 3);
+        const double l = meanRoundTime(device::Category::Low,
+                                       row.interference, row.network, 4);
+        table.addRow({row.name, util::fmt(h / ref, 2),
+                      util::fmt(m / ref, 2), util::fmt(l / ref, 2),
+                      util::fmtX(l / h, 2)});
+    }
+    table.print(std::cout, "Figure 4: mean round time per tier "
+                           "(normalized to H, no variance)");
+    table.writeCsv("fig04_runtime_variance.csv");
+    return 0;
+}

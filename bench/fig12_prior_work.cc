@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 12: comparison with prior work (CNN-MNIST) — FedGPO vs FedEx
+ * (exponentiated-gradient tuning) and ABS (deep-RL batch-size-only)
+ * with and without runtime variance and data heterogeneity.
+ *
+ * Paper shape: FedGPO improves PPW by 1.5x over FedEx and 2.1x over ABS
+ * on average; under variance 1.5x / 1.7x; under data heterogeneity
+ * 1.4x / 3.6x (ABS cannot adapt E or K, so heterogeneity hurts it most).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+int
+main()
+{
+    benchutil::banner(
+        "Figure 12: FedGPO vs FedEx and ABS (CNN-MNIST)",
+        "FedGPO 1.5x (FedEx) and 2.1x (ABS) PPW on average; ABS is not "
+        "robust to data heterogeneity (it only adapts B)");
+
+    const std::vector<benchutil::Policy> policies = {
+        benchutil::Policy::FedEx, benchutil::Policy::Abs,
+        benchutil::Policy::FedGpo};
+
+    struct ScenarioSpec
+    {
+        const char *label;
+        exp::Variance variance;
+        data::Distribution dist;
+    };
+    const ScenarioSpec specs[] = {
+        {"runtime variance", exp::Variance::Both,
+         data::Distribution::IidIdeal},
+        {"data heterogeneity", exp::Variance::None,
+         data::Distribution::NonIid},
+    };
+
+    util::Table table({"scenario", "policy", "norm PPW", "conv speedup",
+                       "final acc"});
+    std::vector<double> vs_fedex, vs_abs;
+    for (const auto &spec : specs) {
+        auto scenario = benchutil::scenarioFor(models::Workload::CnnMnist,
+                                               spec.variance, spec.dist);
+        auto runs = benchutil::runComparison(scenario, policies);
+        const auto &fedex = runs[0].second;
+        const auto &abs = runs[1].second;
+        const auto &fedgpo = runs[2].second;
+        // Matched quality across the trio. A policy whose accuracy never
+        // reaches the target did not deliver the quality being priced —
+        // its row is marked DNF and it normalizes as if it spent its
+        // whole campaign without finishing.
+        double plateau = 0.0;
+        for (const auto &[name, r] : runs)
+            plateau = std::max(plateau, r.best_accuracy);
+        const double target = std::max(0.3, plateau - 0.03);
+        const bool fedex_dnf = fedex.best_accuracy < target;
+        const auto &ref = fedex_dnf ? fedgpo : fedex;
+        for (const auto &[name, result] : runs) {
+            const bool dnf = result.best_accuracy < target;
+            std::string ppw =
+                util::fmtX(result.ppwAt(target) / ref.ppwAt(target));
+            std::string speedup = util::fmtX(
+                ref.timeToAccuracy(target) /
+                result.timeToAccuracy(target));
+            if (dnf) {
+                ppw += " (DNF)";
+                speedup += " (DNF)";
+            }
+            table.addRow({spec.label, name, ppw, speedup,
+                          util::fmt(result.final_accuracy, 3)});
+        }
+        if (fedex_dnf) {
+            std::cout << spec.label << ": FedEx never reached the "
+                      << "quality target (normalized to FedGPO "
+                      << "instead)\n";
+        } else {
+            vs_fedex.push_back(fedgpo.ppwAt(target) /
+                               fedex.ppwAt(target));
+        }
+        if (abs.best_accuracy >= target)
+            vs_abs.push_back(fedgpo.ppwAt(target) / abs.ppwAt(target));
+        std::cout << spec.label << " done\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout, "Figure 12 (normalized to FedEx per scenario, "
+                           "or FedGPO where FedEx DNFs)");
+    table.writeCsv("fig12_prior_work.csv");
+    if (!vs_fedex.empty()) {
+        std::cout << "\nFedGPO average PPW vs FedEx (scenarios where "
+                  << "FedEx reached the target): "
+                  << util::fmtX(util::geomean(vs_fedex))
+                  << " (paper: 1.5x)\n";
+    }
+    if (!vs_abs.empty()) {
+        std::cout << "FedGPO average PPW vs ABS: "
+                  << util::fmtX(util::geomean(vs_abs))
+                  << " (paper: 2.1x)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Section 5.4: convergence and overhead analysis.
+ *
+ * Micro-benchmarks (google-benchmark) of the four FedGPO runtime
+ * components — per-device state identification, global-parameter
+ * selection, reward calculation, and the Q-table update — plus the
+ * Q-table memory footprint and the learning-phase convergence trace.
+ *
+ * Paper values: 499.6 us total per round (496.8 us state identification,
+ * 0.2 us action selection, 2.1 us reward, 0.5 us table update), 0.4 MB
+ * of tables, reward converging after 30-40 rounds. The state-
+ * identification cost is dominated by reading OS counters on a real
+ * device; in simulation the featurization itself is what remains, so
+ * expect that component to be far below 496.8 us here.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/fedgpo.h"
+#include "core/reward.h"
+#include "core/state.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+namespace {
+
+nn::LayerCensus
+census()
+{
+    nn::LayerCensus c;
+    c.conv = 2;
+    c.dense = 2;
+    return c;
+}
+
+fl::DeviceObservation
+observation()
+{
+    fl::DeviceObservation obs;
+    obs.client_id = 3;
+    obs.category = device::Category::Mid;
+    obs.interference.co_cpu = 0.4;
+    obs.interference.co_mem = 0.2;
+    obs.network.bandwidth_mbps = 62.0;
+    obs.data_classes = 9;
+    obs.total_classes = 10;
+    obs.shard_size = 25;
+    return obs;
+}
+
+void
+BM_StateIdentification(benchmark::State &state)
+{
+    const auto c = census();
+    const auto obs = observation();
+    for (auto _ : state) {
+        auto key = core::encodeState(c, obs);
+        benchmark::DoNotOptimize(key.index());
+    }
+}
+BENCHMARK(BM_StateIdentification);
+
+void
+BM_ActionSelection(benchmark::State &state)
+{
+    util::Rng rng(1);
+    core::QTable table(core::kNumStates, core::kNumDeviceActions, rng);
+    std::size_t s = 123;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.bestAction(s));
+        s = (s + 7) % core::kNumStates;
+    }
+}
+BENCHMARK(BM_ActionSelection);
+
+void
+BM_RewardCalculation(benchmark::State &state)
+{
+    double acc = 0.91;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::fedgpoReward(0.7, 0.4, acc, acc - 0.004));
+        acc = acc < 0.99 ? acc + 1e-6 : 0.91;
+    }
+}
+BENCHMARK(BM_RewardCalculation);
+
+void
+BM_QTableUpdate(benchmark::State &state)
+{
+    util::Rng rng(2);
+    core::QTable table(core::kNumStates, core::kNumDeviceActions, rng);
+    std::size_t s = 5, a = 11;
+    for (auto _ : state) {
+        table.update(s, a, -12.0, s, 0.3, 0.1);
+        s = (s + 13) % core::kNumStates;
+        a = (a + 3) % core::kNumDeviceActions;
+    }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void
+BM_FullDecisionRound(benchmark::State &state)
+{
+    // End-to-end policy cost for a K=20 round (decision side only; no NN
+    // training): chooseClients + assign + feedback.
+    core::FedGpo policy;
+    const auto c = census();
+    std::vector<fl::DeviceObservation> devices;
+    for (std::size_t i = 0; i < 20; ++i) {
+        auto obs = observation();
+        obs.client_id = i;
+        obs.category = static_cast<device::Category>(i % 3);
+        devices.push_back(obs);
+    }
+    double acc = 0.5;
+    for (auto _ : state) {
+        policy.chooseClients(48);
+        auto params = policy.assign(devices, c);
+        fl::RoundResult result;
+        acc = acc < 0.95 ? acc + 0.001 : 0.5;
+        result.test_accuracy = acc;
+        result.energy_total = 2000.0;
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            fl::ClientRoundReport report;
+            report.client_id = i;
+            report.category = devices[i].category;
+            report.params = params[i];
+            report.cost.e_total = 100.0;
+            report.samples = 25;
+            result.participants.push_back(report);
+        }
+        policy.feedback(result);
+    }
+}
+BENCHMARK(BM_FullDecisionRound);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Section 5.4: FedGPO overhead analysis ===\n"
+              << "paper: state id 496.8us (dominated by reading OS "
+                 "counters on-device), action 0.2us, reward 2.1us, "
+                 "update 0.5us; tables 0.4MB; reward converges after "
+                 "30-40 rounds\n\n";
+
+    // Memory footprint.
+    core::FedGpo policy;
+    std::cout << "Q-table memory: "
+              << static_cast<double>(policy.qTableBytes()) / 1e6
+              << " MB (3 shared category tables of "
+              << core::kNumStates << "x" << core::kNumDeviceActions
+              << " + K table of " << core::kNumGlobalStates << "x"
+              << core::kNumClientActions << ")\n\n";
+
+    // Learning-phase convergence trace on a real (small) scenario.
+    auto scenario = benchutil::scenarioFor(models::Workload::CnnMnist,
+                                           exp::Variance::None,
+                                           data::Distribution::IidIdeal);
+    scenario.n_devices = 24;
+    scenario.train_samples = 480;
+    scenario.test_samples = 120;
+    core::FedGpoConfig config;
+    config.seed = 42;
+    core::FedGpo learner(config);
+    fl::FlSimulator sim(scenario.toFlConfig());
+    util::Table trace({"round", "max |Q delta|", "test acc"});
+    for (int r = 1; r <= 40; ++r) {
+        auto result = sim.runRound(learner);
+        if (r % 4 == 0) {
+            trace.addRow({std::to_string(r),
+                          util::fmt(learner.learningDelta(), 2),
+                          util::fmt(result.test_accuracy, 3)});
+        }
+    }
+    trace.print(std::cout, "Learning-phase convergence (paper: settles "
+                           "after 30-40 rounds)");
+    trace.writeCsv("sec54_convergence.csv");
+    std::cout << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 5: FedGPO's prediction accuracy — how close its per-round,
+ * per-device parameter selections come to the oracle parameters that
+ * minimize the performance gap across devices, over five scenarios.
+ *
+ * Paper values: 94.7% (no variance), 94.2% (interference), 94.5%
+ * (unstable network), 87.7% (data heterogeneity), 90.1% (variance +
+ * heterogeneity). Heterogeneity scores lower because gap minimization
+ * alone does not guarantee convergence there, and FedGPO deliberately
+ * trades some gap for model quality.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/fedgpo.h"
+#include "optim/oracle.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+namespace {
+
+double
+measureScenario(exp::Variance variance, data::Distribution dist)
+{
+    auto scenario = benchutil::scenarioFor(models::Workload::CnnMnist,
+                                           variance, dist);
+    core::FedGpoConfig config;
+    config.seed = scenario.seed;
+    core::FedGpo policy(config);
+
+    // Warm up the Q-tables on a different seed, then measure prediction
+    // accuracy over a fresh campaign (the paper measures after the
+    // learning phase).
+    {
+        exp::Scenario warm = scenario;
+        warm.seed = scenario.seed ^ 0xc0ffee;
+        fl::FlSimulator sim(warm.toFlConfig());
+        for (int r = 0; r < 40; ++r)
+            sim.runRound(policy);
+    }
+    fl::FlSimulator sim(scenario.toFlConfig());
+    const fl::PerDeviceParams baseline{8, 10};
+    util::RunningStat accuracy;
+    for (int r = 0; r < 15; ++r) {
+        auto result = sim.runRound(policy);
+        accuracy.add(optim::predictionAccuracy(sim, result, baseline));
+    }
+    return accuracy.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner(
+        "Table 5: accuracy of FedGPO's global parameter selection vs the "
+        "gap-minimizing oracle",
+        "94.7 / 94.2 / 94.5 / 87.7 / 90.1 percent across the five "
+        "scenarios; heterogeneity scores lower by design");
+
+    struct Row
+    {
+        const char *variance_label;
+        const char *het_label;
+        exp::Variance variance;
+        data::Distribution dist;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {"No", "No", exp::Variance::None, data::Distribution::IidIdeal,
+         "94.7%"},
+        {"Yes (On-device Interference)", "No", exp::Variance::Interference,
+         data::Distribution::IidIdeal, "94.2%"},
+        {"Yes (Unstable Network)", "No", exp::Variance::Network,
+         data::Distribution::IidIdeal, "94.5%"},
+        {"No", "Yes", exp::Variance::None, data::Distribution::NonIid,
+         "87.7%"},
+        {"Yes", "Yes", exp::Variance::Both, data::Distribution::NonIid,
+         "90.1%"},
+    };
+
+    util::Table table({"Runtime Variance", "Data Heterogeneity",
+                       "Prediction Accuracy", "paper"});
+    std::vector<double> all;
+    for (const auto &row : rows) {
+        const double acc = measureScenario(row.variance, row.dist);
+        all.push_back(acc);
+        table.addRow({row.variance_label, row.het_label, util::fmtPct(acc),
+                      row.paper});
+        std::cout << row.variance_label << "/" << row.het_label
+                  << " done\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout, "Table 5: Accuracy for Global Parameter "
+                           "Selection");
+    table.writeCsv("table5_prediction_accuracy.csv");
+    std::cout << "\naverage prediction accuracy: "
+              << util::fmtPct(util::mean(all)) << " (paper: 94.7% overall, "
+              << "94.4% under variance, 88.9% under heterogeneity)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Non-IID study: how Dirichlet label skew changes what the optimal
+ * global parameters are, and how FedGPO's selections respond.
+ *
+ *   ./build/examples/noniid_study
+ */
+
+#include <iostream>
+
+#include "core/fedgpo.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "exp/campaign.h"
+#include "fl/simulator.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+int
+main()
+{
+    // 1. Show what Dirichlet(0.1) does to the per-device label mix.
+    {
+        util::Rng rng(4);
+        auto dataset = data::makeSyntheticMnist(600, rng);
+        util::Rng prng(5);
+        auto iid = data::iidPartition(dataset, 12, prng);
+        auto dir = data::dirichletPartition(dataset, 12, 0.1, prng);
+        util::Table table({"device", "IID classes", "non-IID classes",
+                           "non-IID samples"});
+        for (std::size_t d = 0; d < 12; ++d) {
+            table.addRow({std::to_string(d),
+                          std::to_string(dataset.classesPresent(iid[d])),
+                          std::to_string(dataset.classesPresent(dir[d])),
+                          std::to_string(dir[d].size())});
+        }
+        table.print(std::cout,
+                    "Dirichlet(0.1) label skew vs IID (10-class data)");
+    }
+
+    // 2. Run FedGPO on the non-IID scenario and report what it selects.
+    exp::Scenario scenario;
+    scenario.workload = models::Workload::CnnMnist;
+    scenario.distribution = data::Distribution::NonIid;
+    scenario.n_devices = 32;
+    scenario.train_samples = 800;
+    scenario.test_samples = 160;
+    scenario.seed = 21;
+
+    core::FedGpoConfig config;
+    config.seed = 21;
+    core::FedGpo policy(config);
+    fl::FlSimulator sim(scenario.toFlConfig());
+    std::cout << "\nFedGPO on non-IID data (watch K and per-device E "
+                 "adapt):\n";
+    util::Table trace({"round", "K", "mean B", "mean E", "test acc"});
+    for (int r = 0; r < 25; ++r) {
+        auto res = sim.runRound(policy);
+        double mb = 0.0, me = 0.0;
+        for (const auto &p : res.participants) {
+            mb += p.params.batch;
+            me += p.params.epochs;
+        }
+        const double n = static_cast<double>(res.participants.size());
+        if (r % 2 == 1) {
+            trace.addRow({std::to_string(r + 1),
+                          std::to_string(res.participants.size()),
+                          util::fmt(mb / n, 1), util::fmt(me / n, 1),
+                          util::fmt(res.test_accuracy, 3)});
+        }
+    }
+    trace.print(std::cout, "");
+    return 0;
+}

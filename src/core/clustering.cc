@@ -1,0 +1,81 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace core {
+
+Clustering1D
+kmeans1d(std::vector<double> values, std::size_t k, int max_iter)
+{
+    if (values.empty() || k == 0 || k > values.size())
+        util::fatal("kmeans1d: need 1 <= k <= sample size");
+    std::sort(values.begin(), values.end());
+
+    Clustering1D out;
+    out.centroids.resize(k);
+    // Quantile seeding: deterministic and well spread.
+    for (std::size_t c = 0; c < k; ++c) {
+        const std::size_t idx =
+            (2 * c + 1) * (values.size() - 1) / (2 * k);
+        out.centroids[c] = values[idx];
+    }
+
+    // Lloyd iterations. With sorted values and sorted centroids, the
+    // assignment is a set of contiguous ranges found by boundary search.
+    std::vector<std::size_t> assign(values.size());
+    for (out.iterations = 0; out.iterations < max_iter;
+         ++out.iterations) {
+        bool changed = false;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::size_t best = 0;
+            double best_d = std::abs(values[i] - out.centroids[0]);
+            for (std::size_t c = 1; c < k; ++c) {
+                const double d = std::abs(values[i] - out.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && out.iterations > 0)
+            break;
+        // Recompute centroids; empty clusters keep their position.
+        std::vector<double> sum(k, 0.0);
+        std::vector<std::size_t> count(k, 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            sum[assign[i]] += values[i];
+            ++count[assign[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c)
+            if (count[c] > 0)
+                out.centroids[c] = sum[c] / static_cast<double>(count[c]);
+        std::sort(out.centroids.begin(), out.centroids.end());
+    }
+
+    out.boundaries.resize(k - 1);
+    for (std::size_t c = 0; c + 1 < k; ++c)
+        out.boundaries[c] =
+            0.5 * (out.centroids[c] + out.centroids[c + 1]);
+    return out;
+}
+
+std::size_t
+bucketOf(double value, const std::vector<double> &boundaries)
+{
+    std::size_t level = 0;
+    for (double b : boundaries)
+        if (value > b)
+            ++level;
+    return level;
+}
+
+} // namespace core
+} // namespace fedgpo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 1-d k-means clustering for state discretization.
+ *
+ * Table 1's bucket boundaries are fixed in the paper, but Section 3.2
+ * notes they come from "applying a clustering algorithm" to observed
+ * state values, and that FedGPO "can support larger search spaces by
+ * further reducing the search space size with different clustering
+ * algorithms". This module provides that mechanism: cluster a sample of
+ * a continuous state signal (bandwidths, co-runner loads, ...) into k
+ * levels and derive the cut points a discretizer can use in place of
+ * the hard-coded Table 1 thresholds.
+ */
+
+#ifndef FEDGPO_CORE_CLUSTERING_H_
+#define FEDGPO_CORE_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedgpo {
+namespace core {
+
+/** Result of a 1-d k-means run. */
+struct Clustering1D
+{
+    std::vector<double> centroids;   //!< ascending cluster centers
+    std::vector<double> boundaries;  //!< k-1 ascending cut points
+                                     //!< (midpoints between centroids)
+    int iterations = 0;              //!< Lloyd iterations until stable
+};
+
+/**
+ * Lloyd's k-means on scalars.
+ *
+ * @param values   Sample of the continuous signal (unsorted OK).
+ * @param k        Number of levels; must satisfy 1 <= k <= values.size().
+ * @param max_iter Iteration cap.
+ *
+ * Initialization is deterministic (quantile seeding), so the same sample
+ * always yields the same discretization.
+ */
+Clustering1D kmeans1d(std::vector<double> values, std::size_t k,
+                      int max_iter = 100);
+
+/**
+ * Discretize a value against cut points: returns the number of
+ * boundaries strictly below the value, i.e. a level in
+ * [0, boundaries.size()].
+ */
+std::size_t bucketOf(double value, const std::vector<double> &boundaries);
+
+} // namespace core
+} // namespace fedgpo
+
+#endif // FEDGPO_CORE_CLUSTERING_H_

@@ -1,0 +1,286 @@
+#include "core/fedgpo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace fedgpo {
+namespace core {
+
+FedGpo::FedGpo(const FedGpoConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    // One shared Q-table per performance category (Section 3.3). With
+    // shared_tables disabled (footnote 2's per-device variant) these act
+    // only as fallbacks; tableFor() lazily creates a private table per
+    // device instead.
+    for (std::size_t c = 0; c < device::kNumCategories; ++c) {
+        category_tables_.push_back(std::make_unique<QTable>(
+            kNumStates, kNumDeviceActions, rng_, 0.0, config_.optimism));
+    }
+    k_table_ = std::make_unique<QTable>(kNumGlobalStates,
+                                        kNumClientActions, rng_, 0.0,
+                                        config_.optimism);
+}
+
+QTable &
+FedGpo::tableFor(device::Category c, std::size_t client_id)
+{
+    if (config_.shared_tables)
+        return *category_tables_[static_cast<std::size_t>(c)];
+    auto it = device_tables_.find(client_id);
+    if (it == device_tables_.end()) {
+        it = device_tables_
+                 .emplace(client_id,
+                          std::make_unique<QTable>(kNumStates,
+                                                   kNumDeviceActions, rng_,
+                                                   0.0, config_.optimism))
+                 .first;
+    }
+    return *it->second;
+}
+
+const QTable &
+FedGpo::categoryTable(device::Category c) const
+{
+    return *category_tables_[static_cast<std::size_t>(c)];
+}
+
+int
+FedGpo::chooseClients(int max_k)
+{
+    // The global state for K uses the census recorded at the last assign
+    // (the model architecture is fixed over a run) plus the most recent
+    // average data-heterogeneity bucket.
+    if (!has_pending_k_ && pending_.empty() && rounds_seen_ == 0) {
+        // First round: no state context yet; start from the FedAvg
+        // default K = 20 clipped to the fleet (paper Algorithm 1 setup).
+        pending_k_state_ = last_data_bucket_;  // census folded in later
+    }
+    const std::size_t state = pending_k_state_;
+    std::size_t action;
+    if (k_table_->stateSwept(state))
+        action = k_table_->bestAction(state);
+    else if (rng_.uniform() < config_.epsilon)
+        action = rng_.index(kNumClientActions);
+    else
+        action = k_table_->bestAction(state);
+    pending_k_action_ = action;
+    has_pending_k_ = true;
+    return std::min(clientActionValue(action), max_k);
+}
+
+std::vector<fl::PerDeviceParams>
+FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
+               const nn::LayerCensus &census)
+{
+    pending_.clear();
+    std::vector<fl::PerDeviceParams> out;
+    out.reserve(devices.size());
+    std::size_t data_bucket_sum = 0;
+    // Within-round spread: devices sharing a (table, state) take distinct
+    // top-valued actions rather than all repeating the current greedy
+    // one, so one aggregation round samples several actions per state —
+    // the parallel design-space exploration that shared per-category
+    // tables enable (Section 3.3).
+    std::map<std::pair<std::size_t, std::size_t>, std::set<std::size_t>>
+        taken;
+    for (const auto &obs : devices) {
+        const StateKey key = encodeState(census, obs);
+        const std::size_t state = key.index();
+        data_bucket_sum += key.data;
+        const auto table_key = std::make_pair(
+            static_cast<std::size_t>(obs.category), state);
+        const QTable &table = tableFor(obs.category, obs.client_id);
+        std::size_t action;
+        if (table.stateSwept(state)) {
+            // Learning phase over for this state: exploit the greedy
+            // action (paper Section 3.3), with occasional *neighborhood*
+            // exploration — revisiting actions adjacent in (B, E) keeps
+            // their sample means fresh so the greedy can drift to the
+            // true local optimum, while bounding the straggler cost an
+            // exploratory action can inflict on the round.
+            action = table.bestAction(state);
+            if (rng_.uniform() < config_.epsilon) {
+                const auto greedy = deviceActionParams(action);
+                std::vector<std::size_t> neighbors;
+                for (std::size_t a = 0; a < kNumDeviceActions; ++a) {
+                    const auto p = deviceActionParams(a);
+                    const bool b_adj = p.epochs == greedy.epochs &&
+                                       (p.batch == greedy.batch * 2 ||
+                                        greedy.batch == p.batch * 2);
+                    const bool e_adj =
+                        p.batch == greedy.batch &&
+                        std::abs(p.epochs - greedy.epochs) <= 5 &&
+                        p.epochs != greedy.epochs;
+                    if (b_adj || e_adj)
+                        neighbors.push_back(a);
+                }
+                if (!neighbors.empty())
+                    action = neighbors[rng_.index(neighbors.size())];
+            }
+        } else if (rng_.uniform() < config_.epsilon) {
+            action = rng_.index(kNumDeviceActions);
+        } else {
+            action = table.bestAction(state);
+            if (taken[table_key].count(action) != 0) {
+                // Greedy already dispatched to a peer this round: spend
+                // this device on the best never-tried action, if any
+                // remain.
+                for (std::size_t a : table.actionsByValue(state)) {
+                    if (table.visits(state, a) == 0 &&
+                        taken[table_key].count(a) == 0) {
+                        action = a;
+                        break;
+                    }
+                }
+            }
+        }
+        taken[table_key].insert(action);
+        pending_.push_back(
+            Decision{obs.client_id, obs.category, state, action});
+        out.push_back(deviceActionParams(action));
+    }
+    // Refresh the global state used by the next chooseClients().
+    if (!devices.empty()) {
+        last_data_bucket_ =
+            data_bucket_sum / devices.size();  // rounded-down mean bucket
+    }
+    pending_k_state_ = encodeGlobalState(census, last_data_bucket_);
+    return out;
+}
+
+void
+FedGpo::feedback(const fl::RoundResult &result)
+{
+    ++rounds_seen_;
+    global_energy_norm_.observe(result.energy_total);
+    const double e_global =
+        global_energy_norm_.normalize(result.energy_total);
+
+    // Smooth the accuracy signal before it enters Eq. 1: the raw
+    // per-round test accuracy is jumpy on small evaluation sets, and an
+    // unsmoothed signal flips the reward between Eq. 1's two branches at
+    // random, burying the per-action energy differences in noise.
+    const double prev_smooth = accuracy_smooth_;
+    accuracy_smooth_ = rounds_seen_ == 1
+                           ? result.test_accuracy
+                           : 0.5 * accuracy_smooth_ +
+                                 0.5 * result.test_accuracy;
+
+    // Per-device updates: each participating device's decision earns the
+    // Eq. 1 reward with its own local-energy term. Improvement credit is
+    // split in proportion to each device's share of the round's training
+    // work (epochs), mirroring FedAvg's own update weighting.
+    double mean_epochs = 0.0;
+    std::size_t kept = 0;
+    for (const auto &p : result.participants) {
+        if (!p.dropped) {
+            mean_epochs += p.params.epochs;
+            ++kept;
+        }
+    }
+    mean_epochs = kept > 0 ? mean_epochs / static_cast<double>(kept) : 1.0;
+    for (const auto &p : result.participants) {
+        local_energy_norm_.observe(p.cost.e_total);
+        const double e_local = local_energy_norm_.normalize(p.cost.e_total);
+        // Concave (square-root) credit: marginal epochs have
+        // diminishing returns on the aggregate, so credit must not grow
+        // linearly or every tier is pushed to the maximum E.
+        const double share = std::clamp(
+            std::sqrt(static_cast<double>(p.params.epochs) /
+                      std::max(mean_epochs, 1.0)),
+            0.3, 2.5);
+        double reward = fedgpoReward(e_global, e_local, accuracy_smooth_,
+                                     prev_smooth, share, config_.reward);
+        // A dropped straggler wasted its whole budget: its decision is
+        // penalized below any stall-branch outcome.
+        if (p.dropped) {
+            reward = accuracy_smooth_ * 100.0 - 100.0 -
+                     config_.reward.energy_weight * (e_global + e_local) -
+                     30.0;
+        }
+        for (const auto &d : pending_) {
+            if (d.client_id == p.client_id) {
+                QTable &table = tableFor(d.category, d.client_id);
+                // Sample-average schedule: the first visit overwrites the
+                // random initialization entirely, later visits average —
+                // then the rate floors at config gamma so the estimate
+                // keeps tracking the (mildly nonstationary) environment.
+                const double gamma = std::max(
+                    config_.gamma,
+                    1.0 / (1.0 + table.visits(d.state, d.action)));
+                table.update(d.state, d.action, reward, d.state, gamma,
+                             config_.mu);
+                break;
+            }
+        }
+    }
+
+    // Global K update with the device-agnostic reward. K directly scales
+    // how much data each round aggregates, so its improvement term keeps
+    // a much higher cap than the per-device one — masking the progress
+    // difference between K=20 and K=5 would push the policy to tiny
+    // cohorts long before the model has converged.
+    if (has_pending_k_) {
+        RewardConfig k_reward = config_.reward;
+        k_reward.delta_cap = 8.0;
+        const double reward =
+            fedgpoReward(e_global, 0.0, accuracy_smooth_, prev_smooth,
+                         1.0, k_reward);
+        const double k_gamma = std::max(
+            config_.gamma,
+            1.0 / (1.0 + k_table_->visits(pending_k_state_,
+                                          pending_k_action_)));
+        k_table_->update(pending_k_state_, pending_k_action_, reward,
+                         pending_k_state_, k_gamma, config_.mu);
+        has_pending_k_ = false;
+    }
+
+    accuracy_prev_ = result.test_accuracy;
+    pending_.clear();
+}
+
+std::size_t
+FedGpo::qTableBytes() const
+{
+    std::size_t total = k_table_->bytes();
+    for (const auto &t : category_tables_)
+        total += t->bytes();
+    for (const auto &[id, t] : device_tables_)
+        total += t->bytes();
+    return total;
+}
+
+void
+FedGpo::saveState(std::ostream &os) const
+{
+    // Only the shared tables persist; per-device tables are tied to a
+    // concrete fleet and are regenerated on load.
+    for (const auto &t : category_tables_)
+        t->serialize(os);
+    k_table_->serialize(os);
+}
+
+void
+FedGpo::loadState(std::istream &is)
+{
+    for (auto &t : category_tables_)
+        t->deserialize(is);
+    k_table_->deserialize(is);
+    device_tables_.clear();
+}
+
+double
+FedGpo::learningDelta() const
+{
+    double max_delta = k_table_->recentMaxDelta();
+    for (const auto &t : category_tables_)
+        max_delta = std::max(max_delta, t->recentMaxDelta());
+    return max_delta;
+}
+
+} // namespace core
+} // namespace fedgpo

@@ -1,0 +1,177 @@
+#include "core/qtable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x51544231;  // "QTB1"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+} // namespace
+
+QTable::QTable(std::size_t n_states, std::size_t n_actions, util::Rng &rng,
+               double init_lo, double init_hi)
+    : n_states_(n_states), n_actions_(n_actions),
+      values_(n_states * n_actions),
+      visit_counts_(n_states * n_actions, 0), recent_deltas_(64, 0.0)
+{
+    assert(n_states > 0 && n_actions > 0);
+    for (auto &v : values_)
+        v = rng.uniform(init_lo, init_hi);
+}
+
+double
+QTable::q(std::size_t state, std::size_t action) const
+{
+    assert(state < n_states_ && action < n_actions_);
+    return values_[state * n_actions_ + action];
+}
+
+std::size_t
+QTable::bestAction(std::size_t state) const
+{
+    assert(state < n_states_);
+    const double *row = values_.data() + state * n_actions_;
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < n_actions_; ++a)
+        if (row[a] > row[best])
+            best = a;
+    return best;
+}
+
+double
+QTable::maxQ(std::size_t state) const
+{
+    return q(state, bestAction(state));
+}
+
+void
+QTable::update(std::size_t state, std::size_t action, double reward,
+               std::size_t next_state, double gamma, double mu)
+{
+    assert(state < n_states_ && action < n_actions_);
+    assert(next_state < n_states_);
+    double &cell = values_[state * n_actions_ + action];
+    const double target = reward + mu * maxQ(next_state);
+    const double delta = gamma * (target - cell);
+    cell += delta;
+    ++visit_counts_[state * n_actions_ + action];
+    recent_deltas_[delta_pos_] = std::fabs(delta);
+    delta_pos_ = (delta_pos_ + 1) % recent_deltas_.size();
+    ++updates_;
+}
+
+std::size_t
+QTable::bytes() const
+{
+    return values_.size() * sizeof(double) +
+           visit_counts_.size() * sizeof(std::uint32_t);
+}
+
+std::uint32_t
+QTable::visits(std::size_t state, std::size_t action) const
+{
+    assert(state < n_states_ && action < n_actions_);
+    return visit_counts_[state * n_actions_ + action];
+}
+
+bool
+QTable::stateSwept(std::size_t state) const
+{
+    assert(state < n_states_);
+    const std::uint32_t *row = visit_counts_.data() + state * n_actions_;
+    for (std::size_t a = 0; a < n_actions_; ++a)
+        if (row[a] == 0)
+            return false;
+    return true;
+}
+
+std::vector<std::size_t>
+QTable::actionsByValue(std::size_t state) const
+{
+    assert(state < n_states_);
+    const double *row = values_.data() + state * n_actions_;
+    std::vector<std::size_t> order(n_actions_);
+    for (std::size_t a = 0; a < n_actions_; ++a)
+        order[a] = a;
+    std::sort(order.begin(), order.end(),
+              [row](std::size_t a, std::size_t b) {
+                  return row[a] > row[b];
+              });
+    return order;
+}
+
+void
+QTable::serialize(std::ostream &os) const
+{
+    writePod(os, kMagic);
+    writePod(os, static_cast<std::uint64_t>(n_states_));
+    writePod(os, static_cast<std::uint64_t>(n_actions_));
+    os.write(reinterpret_cast<const char *>(values_.data()),
+             static_cast<std::streamsize>(values_.size() *
+                                          sizeof(double)));
+    os.write(reinterpret_cast<const char *>(visit_counts_.data()),
+             static_cast<std::streamsize>(visit_counts_.size() *
+                                          sizeof(std::uint32_t)));
+}
+
+void
+QTable::deserialize(std::istream &is)
+{
+    std::uint32_t magic = 0;
+    std::uint64_t states = 0, actions = 0;
+    readPod(is, magic);
+    readPod(is, states);
+    readPod(is, actions);
+    if (!is || magic != kMagic)
+        util::fatal("QTable::deserialize: bad header");
+    if (states != n_states_ || actions != n_actions_) {
+        util::fatal("QTable::deserialize: dimension mismatch (" +
+                    std::to_string(states) + "x" +
+                    std::to_string(actions) + " vs " +
+                    std::to_string(n_states_) + "x" +
+                    std::to_string(n_actions_) + ")");
+    }
+    is.read(reinterpret_cast<char *>(values_.data()),
+            static_cast<std::streamsize>(values_.size() * sizeof(double)));
+    is.read(reinterpret_cast<char *>(visit_counts_.data()),
+            static_cast<std::streamsize>(visit_counts_.size() *
+                                         sizeof(std::uint32_t)));
+    if (!is)
+        util::fatal("QTable::deserialize: truncated payload");
+}
+
+double
+QTable::recentMaxDelta(std::size_t window) const
+{
+    const std::size_t n = std::min(window, recent_deltas_.size());
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_delta = std::max(max_delta, recent_deltas_[i]);
+    return max_delta;
+}
+
+} // namespace core
+} // namespace fedgpo

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tabular Q-value store with the update rule of the paper's Algorithm 2:
+ *
+ *   Q(S,A) <- Q(S,A) + gamma * [R + mu * Q(S',A') - Q(S,A)]
+ *
+ * where gamma is the learning rate and mu the discount factor, and A' is
+ * the greedy action at S'. Tables are dense (state x action) so lookups
+ * and updates are O(1)/O(actions) — the property that gives FedGPO its
+ * microsecond decision latency (paper Section 5.4).
+ */
+
+#ifndef FEDGPO_CORE_QTABLE_H_
+#define FEDGPO_CORE_QTABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace core {
+
+/**
+ * Dense Q-table.
+ */
+class QTable
+{
+  public:
+    /**
+     * @param n_states  Number of discrete states.
+     * @param n_actions Number of discrete actions.
+     * @param rng     Random-initialization stream (Algorithm 2
+     *                initializes Q(S,A) with random values).
+     * @param init_lo Lower bound of the random initial values.
+     * @param init_hi Upper bound. Initializing optimistically (a positive
+     *                band above typical rewards) makes untried actions
+     *                look attractive, so the epsilon-greedy sweep covers
+     *                the action space quickly — classic optimistic
+     *                initial values.
+     */
+    QTable(std::size_t n_states, std::size_t n_actions, util::Rng &rng,
+           double init_lo = -0.01, double init_hi = 0.01);
+
+    std::size_t numStates() const { return n_states_; }
+    std::size_t numActions() const { return n_actions_; }
+
+    /** Q(s, a). */
+    double q(std::size_t state, std::size_t action) const;
+
+    /** Greedy action argmax_a Q(s, a). */
+    std::size_t bestAction(std::size_t state) const;
+
+    /** max_a Q(s, a). */
+    double maxQ(std::size_t state) const;
+
+    /**
+     * Algorithm 2 update.
+     *
+     * @param state      S
+     * @param action     A
+     * @param reward     R
+     * @param next_state S'
+     * @param gamma      Learning rate (paper value 0.9).
+     * @param mu         Discount factor (paper value 0.1).
+     */
+    void update(std::size_t state, std::size_t action, double reward,
+                std::size_t next_state, double gamma, double mu);
+
+    /** Number of updates applied so far. */
+    std::size_t updates() const { return updates_; }
+
+    /** Memory footprint of the value store in bytes. */
+    std::size_t bytes() const;
+
+    /** Number of updates applied to one (state, action) cell. */
+    std::uint32_t visits(std::size_t state, std::size_t action) const;
+
+    /**
+     * True when every action of the state has been tried at least once —
+     * the per-state end of the learning phase. Algorithm 2 keeps
+     * updating values afterwards, but action selection can switch to
+     * pure exploitation (paper Section 3.3: once the tables converge,
+     * FedGPO "uses the shared Q-tables to select A").
+     */
+    bool stateSwept(std::size_t state) const;
+
+    /**
+     * Actions of a state ordered by descending Q value — used by the
+     * within-round exploration spread (devices sharing a state take
+     * different high-value actions instead of piling onto one).
+     */
+    std::vector<std::size_t> actionsByValue(std::size_t state) const;
+
+    /**
+     * Largest |delta| applied to any entry over the last `window` updates;
+     * the learning phase is complete once this settles near zero (paper:
+     * "the largest Q(S,A) value is converged for each S").
+     */
+    double recentMaxDelta(std::size_t window = 64) const;
+
+    /**
+     * Serialize values + visit counts (binary). Lets a deployment ship
+     * pre-trained tables to a fresh aggregation server — the post-
+     * learning-phase operating mode of Section 3.3.
+     */
+    void serialize(std::ostream &os) const;
+
+    /**
+     * Restore from serialize()'s format. Dimensions must match this
+     * table's; throws util::FatalError otherwise.
+     */
+    void deserialize(std::istream &is);
+
+  private:
+    std::size_t n_states_;
+    std::size_t n_actions_;
+    std::vector<double> values_;
+    std::vector<std::uint32_t> visit_counts_;
+    std::vector<double> recent_deltas_;  //!< ring buffer
+    std::size_t delta_pos_ = 0;
+    std::size_t updates_ = 0;
+};
+
+} // namespace core
+} // namespace fedgpo
+
+#endif // FEDGPO_CORE_QTABLE_H_

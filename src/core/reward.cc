@@ -1,0 +1,45 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fedgpo {
+namespace core {
+
+double
+fedgpoReward(double energy_global_norm, double energy_local_norm,
+             double accuracy, double accuracy_prev,
+             double improvement_share, const RewardConfig &cfg)
+{
+    assert(accuracy >= 0.0 && accuracy <= 1.0);
+    assert(accuracy_prev >= 0.0 && accuracy_prev <= 1.0);
+    assert(improvement_share >= 0.0);
+    const double acc_pct = accuracy * 100.0;
+    const double prev_pct = accuracy_prev * 100.0;
+    if (acc_pct - prev_pct <= 0.0) {
+        return acc_pct - 100.0 -
+               cfg.stall_energy_factor * cfg.energy_weight *
+                   (energy_global_norm + energy_local_norm);
+    }
+    const double delta = std::min(acc_pct - prev_pct, cfg.delta_cap);
+    return -cfg.energy_weight * (energy_global_norm + energy_local_norm) +
+           cfg.alpha * acc_pct + cfg.beta * delta * improvement_share;
+}
+
+void
+EnergyNormalizer::observe(double energy)
+{
+    assert(energy >= 0.0);
+    max_seen_ = std::max(max_seen_, energy);
+}
+
+double
+EnergyNormalizer::normalize(double energy) const
+{
+    if (max_seen_ <= 0.0)
+        return 1.0;
+    return std::clamp(energy / max_seen_, 0.0, 2.0);
+}
+
+} // namespace core
+} // namespace fedgpo

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * FedGPO's reward function (paper Eq. 1):
+ *
+ *   if R_accuracy - R_accuracy_prev <= 0:
+ *       R = R_accuracy - 100
+ *   else:
+ *       R = -R_energy_global - R_energy_local
+ *           + alpha * R_accuracy + beta * (R_accuracy - R_accuracy_prev)
+ *
+ * Accuracies enter as percentages (so the penalty branch is strongly
+ * negative); energies enter normalized to a running fleet-energy scale so
+ * the terms share magnitude. The same reward drives the adaptive
+ * baselines, making the comparison a pure search-mechanism comparison —
+ * which is the paper's framing (sample efficiency of RL vs BO/GA).
+ */
+
+#ifndef FEDGPO_CORE_REWARD_H_
+#define FEDGPO_CORE_REWARD_H_
+
+#include "fl/types.h"
+
+namespace fedgpo {
+namespace core {
+
+/**
+ * Eq. 1 coefficients; the paper leaves alpha/beta unspecified.
+ * energy_weight maps the normalized [0,1] energy terms onto the same
+ * 0-100 scale the accuracy terms live on, so "maximize efficiency without
+ * degrading accuracy" is a real trade-off rather than a no-op.
+ */
+struct RewardConfig
+{
+    /**
+     * Weight of the absolute-accuracy term. Kept small: within one
+     * learning phase the absolute accuracy is nearly constant across
+     * actions, so a large alpha only inflates the reward gap between the
+     * improving and stalled phases (drowning the per-action energy
+     * signal) without helping the action ranking.
+     */
+    double alpha = 0.1;
+    double beta = 30.0;
+    double energy_weight = 80.0;
+    /**
+     * Cap (in accuracy percentage points) on the per-round improvement
+     * term. Early training improves by tens of points per round; without
+     * a cap those rounds imprint jackpot Q-values on whatever actions
+     * happened to be tried, and the policy chases those ghosts long after
+     * the environment has moved on.
+     */
+    double delta_cap = 2.0;
+    /**
+     * Energy tie-break inside the no-improvement branch, as a fraction of
+     * energy_weight. Eq. 1 as printed makes the stall branch
+     * action-independent; on synthetic data accuracy can plateau exactly,
+     * and an action-independent reward lets the greedy policy drift
+     * through arbitrarily expensive actions. The tie-break preserves
+     * Eq. 1's ordering (any improvement beats any stall) while keeping
+     * "cheaper is better" visible at the plateau. Set to 0 for the
+     * literal Eq. 1.
+     */
+    double stall_energy_factor = 0.5;
+};
+
+/**
+ * Eq. 1.
+ *
+ * @param energy_global_norm R_energy_global, normalized to [0, ~1].
+ * @param energy_local_norm  R_energy_local of the device, normalized.
+ * @param accuracy           R_accuracy in [0, 1].
+ * @param accuracy_prev      R_accuracy_prev in [0, 1].
+ * @param improvement_share  Fraction of the round's improvement credited
+ *                           to this decision. FedAvg attributes the
+ *                           aggregate update to clients in proportion to
+ *                           their training work; crediting the accuracy
+ *                           improvement the same way lets devices whose
+ *                           extra epochs actually drive progress see that
+ *                           in their reward (1.0 = fully shared credit).
+ */
+double fedgpoReward(double energy_global_norm, double energy_local_norm,
+                    double accuracy, double accuracy_prev,
+                    double improvement_share = 1.0,
+                    const RewardConfig &cfg = RewardConfig{});
+
+/**
+ * Running normalizer for the energy terms: tracks the largest round
+ * energy seen so far and maps energies into [0, 1] against it.
+ */
+class EnergyNormalizer
+{
+  public:
+    /** Fold a new observation into the scale. */
+    void observe(double energy);
+
+    /** Normalize a value against the current scale (1 before any data). */
+    double normalize(double energy) const;
+
+  private:
+    double max_seen_ = 0.0;
+};
+
+} // namespace core
+} // namespace fedgpo
+
+#endif // FEDGPO_CORE_REWARD_H_

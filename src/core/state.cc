@@ -1,0 +1,122 @@
+#include "core/state.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "device/network_model.h"
+
+namespace fedgpo {
+namespace core {
+
+std::size_t
+bucketConv(std::size_t n_conv)
+{
+    if (n_conv < 10)
+        return 0;
+    if (n_conv < 20)
+        return 1;
+    if (n_conv < 30)
+        return 2;
+    return 3;
+}
+
+std::size_t
+bucketFc(std::size_t n_fc)
+{
+    return n_fc < 10 ? 0 : 1;
+}
+
+std::size_t
+bucketRc(std::size_t n_rc)
+{
+    if (n_rc < 5)
+        return 0;
+    if (n_rc < 10)
+        return 1;
+    return 2;
+}
+
+std::size_t
+bucketCoUsage(double usage)
+{
+    assert(usage >= 0.0 && usage <= 1.0);
+    if (usage <= 0.0)
+        return 0;
+    if (usage < 0.25)
+        return 1;
+    if (usage < 0.75)
+        return 2;
+    return 3;
+}
+
+std::size_t
+bucketNetwork(double bandwidth_mbps)
+{
+    return bandwidth_mbps > device::kBadNetworkMbps ? 0 : 1;
+}
+
+std::size_t
+bucketData(std::size_t classes_held, std::size_t total_classes)
+{
+    assert(total_classes > 0);
+    const double frac = static_cast<double>(classes_held) /
+                        static_cast<double>(total_classes);
+    if (frac < 0.25)
+        return 0;
+    if (frac < 1.0)
+        return 1;
+    return 2;
+}
+
+std::size_t
+StateKey::index() const
+{
+    std::size_t idx = conv;
+    idx = idx * kFcLevels + fc;
+    idx = idx * kRcLevels + rc;
+    idx = idx * kCoCpuLevels + co_cpu;
+    idx = idx * kCoMemLevels + co_mem;
+    idx = idx * kNetworkLevels + network;
+    idx = idx * kDataLevels + data;
+    assert(idx < kNumStates);
+    return idx;
+}
+
+std::string
+StateKey::toString() const
+{
+    std::ostringstream os;
+    os << "{conv=" << conv << " fc=" << fc << " rc=" << rc
+       << " cpu=" << co_cpu << " mem=" << co_mem << " net=" << network
+       << " data=" << data << "}";
+    return os.str();
+}
+
+StateKey
+encodeState(const nn::LayerCensus &census, const fl::DeviceObservation &obs)
+{
+    StateKey key;
+    key.conv = bucketConv(census.conv);
+    key.fc = bucketFc(census.dense);
+    key.rc = bucketRc(census.recurrent);
+    key.co_cpu = bucketCoUsage(obs.interference.co_cpu);
+    key.co_mem = bucketCoUsage(obs.interference.co_mem);
+    key.network = bucketNetwork(obs.network.bandwidth_mbps);
+    key.data = bucketData(obs.data_classes, obs.total_classes);
+    return key;
+}
+
+std::size_t
+encodeGlobalState(const nn::LayerCensus &census, std::size_t data_bucket)
+{
+    assert(data_bucket < kDataLevels);
+    std::size_t idx = bucketConv(census.conv);
+    idx = idx * kFcLevels + bucketFc(census.dense);
+    idx = idx * kRcLevels + bucketRc(census.recurrent);
+    idx = idx * kDataLevels + data_bucket;
+    assert(idx < kNumGlobalStates);
+    return idx;
+}
+
+} // namespace core
+} // namespace fedgpo

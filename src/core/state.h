@@ -1,0 +1,99 @@
+/**
+ * @file
+ * FedGPO state featurization and discretization (paper Table 1).
+ *
+ * Continuous observations are bucketed into the discrete levels of
+ * Table 1 so they can index a Q-table:
+ *
+ *   S_CONV    #conv layers:  small(<10) medium(<20) large(<30) larger(>=30)
+ *   S_FC      #fc layers:    small(<10) large(>=10)
+ *   S_RC      #rc layers:    small(<5)  medium(<10) large(>=10)
+ *   S_Co_CPU  co-runner CPU: none(0) small(<25%) medium(<75%) large(<=100%)
+ *   S_Co_MEM  co-runner mem: none(0) small(<25%) medium(<75%) large(<=100%)
+ *   S_Network bandwidth:     regular(>40Mbps) bad(<=40Mbps)
+ *   S_Data    classes held:  small(<25%) medium(<100%) large(=100%)
+ */
+
+#ifndef FEDGPO_CORE_STATE_H_
+#define FEDGPO_CORE_STATE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "fl/types.h"
+#include "nn/model.h"
+
+namespace fedgpo {
+namespace core {
+
+/** Bucket counts per state feature. */
+inline constexpr std::size_t kConvLevels = 4;
+inline constexpr std::size_t kFcLevels = 2;
+inline constexpr std::size_t kRcLevels = 3;
+inline constexpr std::size_t kCoCpuLevels = 4;
+inline constexpr std::size_t kCoMemLevels = 4;
+inline constexpr std::size_t kNetworkLevels = 2;
+inline constexpr std::size_t kDataLevels = 3;
+
+/** Total number of discrete per-device states. */
+inline constexpr std::size_t kNumStates =
+    kConvLevels * kFcLevels * kRcLevels * kCoCpuLevels * kCoMemLevels *
+    kNetworkLevels * kDataLevels;
+
+/** Table 1 bucketing functions (exposed for tests). */
+std::size_t bucketConv(std::size_t n_conv);
+std::size_t bucketFc(std::size_t n_fc);
+std::size_t bucketRc(std::size_t n_rc);
+std::size_t bucketCoUsage(double usage);     //!< CPU and MEM share levels
+std::size_t bucketNetwork(double bandwidth_mbps);
+std::size_t bucketData(std::size_t classes_held, std::size_t total_classes);
+
+/**
+ * Discretized per-device FedGPO state.
+ */
+struct StateKey
+{
+    std::size_t conv = 0;
+    std::size_t fc = 0;
+    std::size_t rc = 0;
+    std::size_t co_cpu = 0;
+    std::size_t co_mem = 0;
+    std::size_t network = 0;
+    std::size_t data = 0;
+
+    /** Mixed-radix flat index in [0, kNumStates). */
+    std::size_t index() const;
+
+    /** Human-readable rendering for logs/tests. */
+    std::string toString() const;
+
+    bool
+    operator==(const StateKey &o) const
+    {
+        return index() == o.index();
+    }
+};
+
+/**
+ * Featurize one device observation plus the global model census into a
+ * discrete state.
+ */
+StateKey encodeState(const nn::LayerCensus &census,
+                     const fl::DeviceObservation &obs);
+
+/**
+ * The compact global state indexing the K-selection table: the NN census
+ * buckets plus the average data-heterogeneity bucket across selected
+ * devices.
+ */
+std::size_t encodeGlobalState(const nn::LayerCensus &census,
+                              std::size_t data_bucket);
+
+/** Number of global states (census buckets x data levels). */
+inline constexpr std::size_t kNumGlobalStates =
+    kConvLevels * kFcLevels * kRcLevels * kDataLevels;
+
+} // namespace core
+} // namespace fedgpo
+
+#endif // FEDGPO_CORE_STATE_H_

@@ -1,0 +1,164 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/zoo.h"
+
+namespace fedgpo {
+namespace data {
+
+namespace {
+
+/**
+ * Smooth a single-channel image in place by repeated 3x3 box blurring;
+ * smooth prototypes make classes distinguishable by low-frequency
+ * structure the conv layers can pick up.
+ */
+void
+boxBlur(std::vector<float> &img, std::size_t h, std::size_t w,
+        int passes)
+{
+    std::vector<float> tmp(img.size());
+    for (int p = 0; p < passes; ++p) {
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                float acc = 0.0f;
+                int cnt = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        long yy = static_cast<long>(y) + dy;
+                        long xx = static_cast<long>(x) + dx;
+                        if (yy < 0 || yy >= static_cast<long>(h) ||
+                            xx < 0 || xx >= static_cast<long>(w)) {
+                            continue;
+                        }
+                        acc += img[yy * w + xx];
+                        ++cnt;
+                    }
+                }
+                tmp[y * w + x] = acc / static_cast<float>(cnt);
+            }
+        }
+        img = tmp;
+    }
+}
+
+Dataset
+makeImageDataset(std::size_t n, std::size_t channels, std::size_t extent,
+                 std::size_t classes, double noise, util::Rng &rng)
+{
+    const std::size_t sample_numel = channels * extent * extent;
+    // Class prototypes: smooth random fields, renormalized to [0, 1].
+    std::vector<std::vector<float>> protos(classes);
+    for (auto &proto : protos) {
+        proto.resize(sample_numel);
+        for (auto &v : proto)
+            v = static_cast<float>(rng.uniform());
+        for (std::size_t c = 0; c < channels; ++c) {
+            std::vector<float> plane(proto.begin() +
+                                         static_cast<long>(c * extent *
+                                                           extent),
+                                     proto.begin() +
+                                         static_cast<long>((c + 1) * extent *
+                                                           extent));
+            boxBlur(plane, extent, extent, 2);
+            // Stretch contrast so prototypes stay separable after blur.
+            float lo = *std::min_element(plane.begin(), plane.end());
+            float hi = *std::max_element(plane.begin(), plane.end());
+            float span = std::max(1e-6f, hi - lo);
+            for (auto &v : plane)
+                v = (v - lo) / span;
+            std::copy(plane.begin(), plane.end(),
+                      proto.begin() + static_cast<long>(c * extent * extent));
+        }
+    }
+
+    tensor::Tensor features({n, channels, extent, extent});
+    std::vector<int> labels(n);
+    float *dst = features.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const int y = static_cast<int>(rng.index(classes));
+        labels[i] = y;
+        const auto &proto = protos[static_cast<std::size_t>(y)];
+        // Random +-1 pixel shift applied uniformly to all channels.
+        const int sy = rng.uniformInt(-1, 1);
+        const int sx = rng.uniformInt(-1, 1);
+        float *out = dst + i * sample_numel;
+        for (std::size_t c = 0; c < channels; ++c) {
+            for (std::size_t py = 0; py < extent; ++py) {
+                for (std::size_t px = 0; px < extent; ++px) {
+                    long qy = static_cast<long>(py) + sy;
+                    long qx = static_cast<long>(px) + sx;
+                    qy = std::clamp<long>(qy, 0,
+                                          static_cast<long>(extent) - 1);
+                    qx = std::clamp<long>(qx, 0,
+                                          static_cast<long>(extent) - 1);
+                    float v = proto[(c * extent + static_cast<std::size_t>(
+                                                      qy)) * extent +
+                                    static_cast<std::size_t>(qx)];
+                    v += static_cast<float>(rng.gaussian(0.0, noise));
+                    out[(c * extent + py) * extent + px] = v;
+                }
+            }
+        }
+    }
+    return Dataset(std::move(features), std::move(labels), classes);
+}
+
+} // namespace
+
+Dataset
+makeSyntheticMnist(std::size_t n, util::Rng &rng, double noise)
+{
+    return makeImageDataset(n, 1, 16, 10, noise, rng);
+}
+
+Dataset
+makeSyntheticImageNet(std::size_t n, util::Rng &rng, double noise)
+{
+    return makeImageDataset(n, 3, 16, 20, noise, rng);
+}
+
+Dataset
+makeSyntheticShakespeare(std::size_t n, util::Rng &rng)
+{
+    const std::size_t vocab = models::lstmVocab();
+    const std::size_t seq = models::lstmSeqLen();
+
+    // Random sparse-ish Markov chain: each symbol strongly prefers a
+    // handful of successors, like character bigrams in natural text.
+    std::vector<std::vector<double>> trans(vocab,
+                                           std::vector<double>(vocab));
+    for (std::size_t a = 0; a < vocab; ++a) {
+        for (std::size_t b = 0; b < vocab; ++b)
+            trans[a][b] = 0.01;
+        // A couple of preferred successors carry most of the mass.
+        trans[a][rng.index(vocab)] += rng.uniform(3.0, 8.0);
+        trans[a][rng.index(vocab)] += rng.uniform(0.5, 2.0);
+    }
+
+    // Generate one long stream and cut overlapping windows from it.
+    const std::size_t stream_len = n + seq + 1;
+    std::vector<int> stream(stream_len);
+    stream[0] = static_cast<int>(rng.index(vocab));
+    for (std::size_t i = 1; i < stream_len; ++i) {
+        stream[i] = static_cast<int>(
+            rng.categorical(trans[static_cast<std::size_t>(stream[i - 1])]));
+    }
+
+    tensor::Tensor features({n, seq, vocab});
+    std::vector<int> labels(n);
+    float *dst = features.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t t = 0; t < seq; ++t) {
+            const int ch = stream[i + t];
+            dst[(i * seq + t) * vocab + static_cast<std::size_t>(ch)] = 1.0f;
+        }
+        labels[i] = stream[i + seq];
+    }
+    return Dataset(std::move(features), std::move(labels), vocab);
+}
+
+} // namespace data
+} // namespace fedgpo

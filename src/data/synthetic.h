@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic-but-learnable stand-ins for the paper's datasets.
+ *
+ * The paper trains on MNIST, Shakespeare, and ImageNet; none are available
+ * offline here, and the phenomena under study (effect of B/E/K, non-IID
+ * label skew, convergence dynamics) depend on class structure and
+ * learnability rather than on the specific corpus. Each generator produces
+ * a dataset the corresponding model architecture genuinely has to learn:
+ *
+ *  - Images: each class owns a smooth random prototype; samples are the
+ *    prototype plus Gaussian pixel noise and a random +-1 pixel shift.
+ *  - Text: a character stream from a random order-1 Markov chain over a
+ *    28-symbol alphabet; samples are one-hot windows, the label is the
+ *    next character (so the label distribution is the chain's stationary
+ *    distribution and the task is genuinely sequential).
+ */
+
+#ifndef FEDGPO_DATA_SYNTHETIC_H_
+#define FEDGPO_DATA_SYNTHETIC_H_
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace data {
+
+/**
+ * MNIST-like dataset: 10 classes of 1x16x16 images.
+ *
+ * @param n     Number of samples.
+ * @param rng   Generator stream; prototypes are derived from it, so two
+ *              datasets built from equal-seeded streams share prototypes.
+ * @param noise Pixel noise standard deviation (default matches the
+ *              difficulty at which the CNN converges in tens of rounds).
+ */
+Dataset makeSyntheticMnist(std::size_t n, util::Rng &rng,
+                           double noise = 0.55);
+
+/**
+ * ImageNet-like dataset: 20 classes of 3x16x16 images (harder than the
+ * MNIST-like set: more classes, colored prototypes, more noise).
+ */
+Dataset makeSyntheticImageNet(std::size_t n, util::Rng &rng,
+                              double noise = 0.6);
+
+/**
+ * Shakespeare-like next-character dataset over a 28-symbol alphabet with
+ * sequence length matching the LSTM workload.
+ *
+ * @param n   Number of (window, next-char) samples.
+ * @param rng Generator stream (Markov transition matrix derives from it).
+ */
+Dataset makeSyntheticShakespeare(std::size_t n, util::Rng &rng);
+
+} // namespace data
+} // namespace fedgpo
+
+#endif // FEDGPO_DATA_SYNTHETIC_H_

@@ -1,0 +1,110 @@
+#include "device/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "device/power_model.h"
+
+namespace fedgpo {
+namespace device {
+
+namespace {
+
+// Fraction of theoretical peak GFLOPS that on-device training sustains.
+constexpr double kTrainUtil = 0.15;
+// Batch-size half-saturation point of hardware utilization.
+constexpr double kBatchHalf = 3.0;
+// Sensitivity of compute throughput to co-runner CPU / memory load.
+// Weaker tiers (fewer cores, smaller caches, less RAM) lose a larger
+// fraction of their throughput to the same co-runner (paper Section 2.2:
+// "the impact of interference depends on the capabilities of each
+// device... it exacerbates the inter-device performance gaps").
+constexpr double kCpuInterf = 0.35;
+constexpr double kMemInterf = 0.2;
+// Fraction of device RAM available to the FL runtime.
+constexpr double kRamFrac = 0.12;
+// Model working set: weights + gradients + optimizer state.
+constexpr double kModelMemCopies = 3.0;
+
+const WorkloadCost kCnnCost = {1000.0, 400.0, 3.0, 0.25};
+const WorkloadCost kLstmCost = {800.0, 250.0, 9.0, 0.9};
+const WorkloadCost kMobileNetCost = {700.0, 370.0, 5.0, 0.45};
+
+} // namespace
+
+const WorkloadCost &
+costFor(models::Workload w)
+{
+    switch (w) {
+      case models::Workload::CnnMnist:          return kCnnCost;
+      case models::Workload::LstmShakespeare:   return kLstmCost;
+      case models::Workload::MobileNetImageNet: return kMobileNetCost;
+    }
+    return kCnnCost;
+}
+
+double
+effectiveFlops(const DeviceProfile &dev, const WorkloadCost &cost,
+               int batch, std::size_t param_bytes,
+               const InterferenceState &interference)
+{
+    assert(batch >= 1);
+    const double b = static_cast<double>(batch);
+    const double batch_util = b / (b + kBatchHalf);
+    // Tier sensitivity: a device with half the RAM (proxy for overall
+    // headroom) loses ~sqrt(2) times more throughput to a co-runner.
+    const double tier_factor = std::sqrt(8.0 / dev.ram_gb);
+    const double cpu_share = std::max(
+        0.25, 1.0 - kCpuInterf * tier_factor * interference.co_cpu);
+    const double mem_share = std::max(
+        0.35, 1.0 - kMemInterf * tier_factor * (0.5 + cost.mem_intensity) *
+                        interference.co_mem);
+
+    // Memory pressure: working set vs RAM available to FL.
+    const double model_mb = static_cast<double>(param_bytes) *
+                            cost.bytes_scale * kModelMemCopies / 1e6;
+    const double ws_mb = model_mb + b * cost.act_mb_per_sample *
+                                        (1.0 + cost.mem_intensity);
+    const double avail_mb = dev.ram_gb * 1024.0 * kRamFrac *
+                            (1.0 - 0.5 * interference.co_mem);
+    double mem_penalty = 1.0;
+    if (ws_mb > avail_mb)
+        mem_penalty = std::pow(ws_mb / avail_mb, 1.5);
+
+    const double eff = dev.gflops * 1e9 * kTrainUtil * batch_util *
+                       cpu_share * mem_share / mem_penalty;
+    return std::max(eff, 1e6);  // never fully stalls
+}
+
+RoundCost
+clientRoundCost(const DeviceProfile &dev, const WorkloadCost &cost,
+                const LocalWorkSpec &work,
+                const InterferenceState &interference,
+                const NetworkState &network)
+{
+    assert(work.samples > 0 && work.epochs >= 1 && work.batch >= 1);
+    RoundCost out;
+
+    const double flops = static_cast<double>(work.train_flops_per_sample) *
+                         cost.flops_scale *
+                         static_cast<double>(work.samples) *
+                         static_cast<double>(work.epochs);
+    out.t_comp = flops / effectiveFlops(dev, cost, work.batch,
+                                        work.param_bytes, interference);
+
+    // Download of the global model plus upload of the update.
+    const double bytes =
+        2.0 * static_cast<double>(work.param_bytes) * cost.bytes_scale;
+    out.t_comm = NetworkModel::txTime(bytes, network.bandwidth_mbps);
+    out.t_round = out.t_comp + out.t_comm;
+
+    PowerModel power(dev);
+    out.e_comp = power.trainingPower() * out.t_comp;
+    out.e_comm = NetworkModel::txPower(network.signal) * out.t_comm;
+    out.e_total = out.e_comp + out.e_comm;
+    return out;
+}
+
+} // namespace device
+} // namespace fedgpo

@@ -1,0 +1,60 @@
+#include "device/device_profile.h"
+
+#include <cassert>
+
+namespace fedgpo {
+namespace device {
+
+namespace {
+
+// Table 3 (EC2 emulation) + Table 4 (measured phones). Idle power is a
+// calibration constant in the range reported for screen-off idle phones.
+const std::array<DeviceProfile, kNumCategories> kProfiles = {{
+    {Category::High, "Mi8Pro", "m4.large", 153.6, 8.0,
+     5.5, 2.8, 23, 7, 2.8, 0.7, 0.30},
+    {Category::Mid, "GalaxyS10e", "t3a.medium", 80.0, 4.0,
+     5.6, 2.4, 21, 9, 2.7, 0.7, 0.25},
+    {Category::Low, "MotoXForce", "t2.small", 52.8, 2.0,
+     3.6, 2.0, 15, 6, 1.9, 0.6, 0.20},
+}};
+
+} // namespace
+
+std::string
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::High: return "H";
+      case Category::Mid:  return "M";
+      case Category::Low:  return "L";
+    }
+    return "?";
+}
+
+const DeviceProfile &
+profileFor(Category c)
+{
+    return kProfiles[static_cast<std::size_t>(c)];
+}
+
+std::vector<Category>
+fleetComposition(std::size_t n)
+{
+    assert(n > 0);
+    // 30/70/100 of 200 => 15% H, 35% M, 50% L.
+    std::vector<Category> fleet(n);
+    const std::size_t n_high = (n * 15 + 50) / 100;
+    const std::size_t n_mid = (n * 35 + 50) / 100;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i < n_high)
+            fleet[i] = Category::High;
+        else if (i < n_high + n_mid)
+            fleet[i] = Category::Mid;
+        else
+            fleet[i] = Category::Low;
+    }
+    return fleet;
+}
+
+} // namespace device
+} // namespace fedgpo

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Device performance categories and their profiles (paper Tables 3 and 4).
+ *
+ * The paper emulates three smartphone tiers with EC2 instances of
+ * equivalent GFLOPS/RAM and calibrates power with Monsoon measurements of
+ * three real phones. Both tables are encoded here verbatim; the rest of
+ * the device model derives per-round time and energy from these constants.
+ */
+
+#ifndef FEDGPO_DEVICE_DEVICE_PROFILE_H_
+#define FEDGPO_DEVICE_DEVICE_PROFILE_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedgpo {
+namespace device {
+
+/** Smartphone performance tier (paper: H / M / L). */
+enum class Category { High = 0, Mid = 1, Low = 2 };
+
+/** Number of tiers. */
+inline constexpr std::size_t kNumCategories = 3;
+
+/** All tiers, for iteration. */
+inline constexpr Category kAllCategories[] = {Category::High, Category::Mid,
+                                              Category::Low};
+
+/** One-letter tier label as the paper prints it. */
+std::string categoryName(Category c);
+
+/**
+ * Static per-tier hardware profile (Tables 3 and 4 merged).
+ */
+struct DeviceProfile
+{
+    Category category;
+    const char *phone;       //!< measured phone (Table 4)
+    const char *ec2;         //!< emulation instance (Table 3)
+    double gflops;           //!< theoretical GFLOPS (Table 3)
+    double ram_gb;           //!< RAM capacity (Table 3)
+    double cpu_peak_w;       //!< CPU peak power (Table 4)
+    double gpu_peak_w;       //!< GPU peak power (Table 4)
+    int cpu_vf_steps;        //!< CPU voltage/frequency steps (Table 4)
+    int gpu_vf_steps;        //!< GPU voltage/frequency steps (Table 4)
+    double cpu_max_ghz;      //!< CPU max clock (Table 4)
+    double gpu_max_ghz;      //!< GPU max clock (Table 4)
+    double idle_w;           //!< device idle power (calibration constant)
+};
+
+/** Immutable profile for a tier. */
+const DeviceProfile &profileFor(Category c);
+
+/**
+ * Paper fleet composition: of 200 devices, 30 are H, 70 are M, 100 are L
+ * (from the in-the-field performance distribution of [70]). Returns the
+ * tier of each device index for a fleet of `n` devices, preserving the
+ * 15/35/50 percent mix at any scale.
+ */
+std::vector<Category> fleetComposition(std::size_t n);
+
+/** Aggregation server profile (c5d.24xlarge, Table 3 text). */
+struct ServerProfile
+{
+    double gflops = 448.0;
+    double ram_gb = 32.0;
+};
+
+} // namespace device
+} // namespace fedgpo
+
+#endif // FEDGPO_DEVICE_DEVICE_PROFILE_H_

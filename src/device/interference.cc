@@ -1,0 +1,54 @@
+#include "device/interference.h"
+
+#include <algorithm>
+
+namespace fedgpo {
+namespace device {
+
+namespace {
+
+// Web-browsing-like load envelope (from the mobile-interference
+// characterizations the paper cites: bursty CPU in the 20-90% range,
+// resident memory 10-70%).
+constexpr double kCpuLo = 0.2, kCpuHi = 0.9;
+constexpr double kMemLo = 0.1, kMemHi = 0.7;
+constexpr double kAr1 = 0.7;           //!< load persistence across rounds
+constexpr double kEpisodeFlip = 0.15;  //!< chance the on/off state flips
+
+} // namespace
+
+InterferenceProcess::InterferenceProcess(bool enabled, double prob_active)
+    : enabled_(enabled), prob_active_(prob_active)
+{
+}
+
+InterferenceState
+InterferenceProcess::step(util::Rng &rng)
+{
+    if (!enabled_) {
+        state_ = InterferenceState{};
+        return state_;
+    }
+    // Sticky on/off episodes: a browsing session lasts several rounds.
+    if (first_) {
+        episode_active_ = rng.bernoulli(prob_active_);
+        first_ = false;
+    } else if (rng.bernoulli(kEpisodeFlip))
+        episode_active_ = rng.bernoulli(prob_active_);
+    if (!episode_active_) {
+        state_ = InterferenceState{};
+        return state_;
+    }
+    auto evolve = [&](double prev, double lo, double hi) {
+        const double target = rng.uniform(lo, hi);
+        double next = prev <= 0.0 ? target : kAr1 * prev +
+                                                 (1.0 - kAr1) * target;
+        return std::clamp(next, 0.0, 1.0);
+    };
+    state_.co_cpu = evolve(state_.co_cpu, kCpuLo, kCpuHi);
+    state_.co_mem = evolve(state_.co_mem, kMemLo, kMemHi);
+    return state_;
+}
+
+} // namespace device
+} // namespace fedgpo

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-device interference process: a synthetic co-running application with
+ * the CPU/memory footprint of mobile web browsing (paper Section 4.2).
+ *
+ * The paper runs a synthetic co-runner on a random subset of devices; its
+ * load is persistent across rounds the way a user's browsing session is,
+ * so the process here is an AR(1) random walk gated by an on/off state
+ * with sticky transitions.
+ */
+
+#ifndef FEDGPO_DEVICE_INTERFERENCE_H_
+#define FEDGPO_DEVICE_INTERFERENCE_H_
+
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace device {
+
+/** Co-running application load visible to the FL runtime. */
+struct InterferenceState
+{
+    double co_cpu = 0.0;  //!< co-runner CPU utilization [0, 1]
+    double co_mem = 0.0;  //!< co-runner memory usage fraction [0, 1]
+
+    bool active() const { return co_cpu > 0.0 || co_mem > 0.0; }
+};
+
+/**
+ * Per-device stochastic interference generator.
+ */
+class InterferenceProcess
+{
+  public:
+    /**
+     * @param enabled     False disables interference entirely (the "no
+     *                    runtime variance" scenario).
+     * @param prob_active Probability a device has a co-runner in a given
+     *                    activity episode (paper: random subset of devices).
+     */
+    explicit InterferenceProcess(bool enabled, double prob_active = 0.5);
+
+    /** Advance one round and return the new state. */
+    InterferenceState step(util::Rng &rng);
+
+    /** Last state returned by step(). */
+    const InterferenceState &state() const { return state_; }
+
+  private:
+    bool enabled_;
+    double prob_active_;
+    bool episode_active_ = false;
+    bool first_ = true;
+    InterferenceState state_;
+};
+
+} // namespace device
+} // namespace fedgpo
+
+#endif // FEDGPO_DEVICE_INTERFERENCE_H_

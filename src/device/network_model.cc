@@ -1,0 +1,59 @@
+#include "device/network_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fedgpo {
+namespace device {
+
+namespace {
+
+constexpr double kStableMean = 85.0;
+constexpr double kStableSd = 12.0;
+constexpr double kUnstableMean = 45.0;
+constexpr double kUnstableSd = 30.0;
+constexpr double kMinMbps = 3.0;
+constexpr double kMaxMbps = 150.0;
+
+constexpr double kTxBaseW = 0.8;   //!< TX power at full signal
+constexpr double kTxExpK = 1.8;    //!< exponential weak-signal penalty
+
+} // namespace
+
+NetworkModel::NetworkModel(bool unstable)
+    : unstable_(unstable),
+      mean_(unstable ? kUnstableMean : kStableMean),
+      sd_(unstable ? kUnstableSd : kStableSd)
+{
+}
+
+NetworkState
+NetworkModel::sample(util::Rng &rng) const
+{
+    NetworkState state;
+    state.bandwidth_mbps =
+        std::clamp(rng.gaussian(mean_, sd_), kMinMbps, kMaxMbps);
+    // Signal strength tracks bandwidth: a saturated link implies strong
+    // signal, a starved one implies weak signal (or congestion, which
+    // costs similar retransmission energy).
+    state.signal = std::clamp(state.bandwidth_mbps / 100.0, 0.05, 1.0);
+    return state;
+}
+
+double
+NetworkModel::txPower(double signal)
+{
+    assert(signal > 0.0 && signal <= 1.0);
+    return kTxBaseW * std::exp(kTxExpK * (1.0 - signal));
+}
+
+double
+NetworkModel::txTime(double bytes, double bandwidth_mbps)
+{
+    assert(bytes >= 0.0 && bandwidth_mbps > 0.0);
+    return bytes * 8.0 / (bandwidth_mbps * 1e6);
+}
+
+} // namespace device
+} // namespace fedgpo

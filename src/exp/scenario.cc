@@ -1,0 +1,65 @@
+#include "exp/scenario.h"
+
+#include <cstdlib>
+
+namespace fedgpo {
+namespace exp {
+
+std::string
+varianceName(Variance v)
+{
+    switch (v) {
+      case Variance::None:         return "none";
+      case Variance::Interference: return "on-device interference";
+      case Variance::Network:      return "unstable network";
+      case Variance::Both:         return "interference + network";
+    }
+    return "?";
+}
+
+fl::FlConfig
+Scenario::toFlConfig() const
+{
+    fl::FlConfig config;
+    config.workload = workload;
+    config.n_devices = n_devices;
+    config.train_samples = train_samples;
+    config.test_samples = test_samples;
+    config.distribution = distribution;
+    config.interference = variance == Variance::Interference ||
+                          variance == Variance::Both;
+    config.network_unstable =
+        variance == Variance::Network || variance == Variance::Both;
+    config.seed = seed;
+    return config;
+}
+
+bool
+fullScale()
+{
+    const char *env = std::getenv("FEDGPO_BENCH_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+Scenario
+makeScenario(models::Workload w, Variance v, data::Distribution dist,
+             std::uint64_t seed)
+{
+    Scenario s;
+    s.workload = w;
+    s.variance = v;
+    s.distribution = dist;
+    s.seed = seed;
+    s.name = models::workloadName(w) + "/" + varianceName(v) + "/" +
+             (dist == data::Distribution::IidIdeal ? "IID" : "non-IID");
+    if (fullScale()) {
+        s.n_devices = 200;
+        s.train_samples = 6000;
+        s.test_samples = 1000;
+        s.rounds = 100;
+    }
+    return s;
+}
+
+} // namespace exp
+} // namespace fedgpo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment scenarios: named bundles of FlConfig + campaign length used
+ * by the benches and examples, with a quick/full scale switch.
+ *
+ * The paper's full scale (200 devices, long campaigns) does not fit a
+ * single host core when every bench in the suite must run; the default
+ * "quick" scale shrinks the fleet and round count while preserving the
+ * 15/35/50 tier mix, the K grid, and all variance processes — every
+ * reported number is a ratio, so the shape survives the scaling. Set
+ * FEDGPO_BENCH_FULL=1 in the environment for paper scale.
+ */
+
+#ifndef FEDGPO_EXP_SCENARIO_H_
+#define FEDGPO_EXP_SCENARIO_H_
+
+#include <string>
+
+#include "fl/simulator.h"
+
+namespace fedgpo {
+namespace exp {
+
+/** Runtime-variance regimes studied in the paper. */
+enum class Variance {
+    None,          //!< no co-runners, stable network
+    Interference,  //!< co-running applications on a random device subset
+    Network,       //!< unstable wireless network
+    Both,          //!< interference + unstable network
+};
+
+/** Human-readable variance label. */
+std::string varianceName(Variance v);
+
+/**
+ * A fully specified experiment scenario.
+ */
+struct Scenario
+{
+    std::string name = "default";
+    models::Workload workload = models::Workload::CnnMnist;
+    Variance variance = Variance::None;
+    data::Distribution distribution = data::Distribution::IidIdeal;
+    int rounds = 25;
+    std::uint64_t seed = 42;
+
+    /** Scale knobs (overridden by full-scale mode). */
+    std::size_t n_devices = 40;
+    std::size_t train_samples = 1200;
+    std::size_t test_samples = 300;
+
+    /** Materialize the simulator configuration. */
+    fl::FlConfig toFlConfig() const;
+};
+
+/** True when FEDGPO_BENCH_FULL=1 is set in the environment. */
+bool fullScale();
+
+/**
+ * Standard scenario for a workload, scaled per fullScale():
+ * quick = 40 devices / 25 rounds, full = 200 devices / 100 rounds.
+ */
+Scenario makeScenario(models::Workload w, Variance v,
+                      data::Distribution dist, std::uint64_t seed = 42);
+
+} // namespace exp
+} // namespace fedgpo
+
+#endif // FEDGPO_EXP_SCENARIO_H_

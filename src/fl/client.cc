@@ -1,0 +1,70 @@
+#include "fl/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace fedgpo {
+namespace fl {
+
+Client::Client(std::size_t id, device::Category category,
+               std::vector<std::size_t> shard,
+               device::InterferenceProcess interference, util::Rng rng)
+    : id_(id), category_(category), shard_(std::move(shard)),
+      interference_(std::move(interference)), rng_(std::move(rng))
+{
+}
+
+void
+Client::stepRuntime(const device::NetworkModel &network)
+{
+    interference_state_ = interference_.step(rng_);
+    network_state_ = network.sample(rng_);
+}
+
+Client::UpdateResult
+Client::localTrain(nn::Model &scratch, const data::Dataset &dataset,
+                   const PerDeviceParams &params, double lr)
+{
+    assert(params.batch >= 1 && params.epochs >= 1);
+    assert(!shard_.empty());
+
+    // Linear-scaling-rule variant: scale the step with sqrt(B / B_ref) so
+    // the per-epoch update magnitude stays comparable across the Table 2
+    // batch range, and clip gradients so aggressive configurations cannot
+    // diverge and poison the aggregate.
+    const double lr_eff = lr * std::sqrt(static_cast<double>(params.batch) /
+                                         8.0);
+    nn::Sgd sgd(lr_eff, /*momentum=*/0.0, /*clip_norm=*/2.0);
+    std::vector<std::size_t> order = shard_;
+    tensor::Tensor batch;
+    std::vector<int> labels;
+    std::vector<std::size_t> batch_idx;
+
+    double loss_sum = 0.0;
+    std::size_t steps = 0;
+    const std::size_t b = static_cast<std::size_t>(params.batch);
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        rng_.shuffle(order);
+        for (std::size_t start = 0; start < order.size(); start += b) {
+            const std::size_t end = std::min(start + b, order.size());
+            batch_idx.assign(order.begin() + static_cast<long>(start),
+                             order.begin() + static_cast<long>(end));
+            dataset.gather(batch_idx, batch, labels);
+            scratch.zeroGrad();
+            loss_sum += scratch.trainStep(batch, labels);
+            sgd.step(scratch);
+            ++steps;
+        }
+    }
+
+    UpdateResult result;
+    result.weights = scratch.saveParams();
+    result.train_loss = steps > 0 ? loss_sum / static_cast<double>(steps)
+                                  : 0.0;
+    result.samples = shard_.size();
+    return result;
+}
+
+} // namespace fl
+} // namespace fedgpo

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * An FL client device: its tier, local data shard, and stochastic runtime
+ * state (interference and network), plus the real local-training step of
+ * FedAvg's ClientUpdate (Algorithm 1).
+ */
+
+#ifndef FEDGPO_FL_CLIENT_H_
+#define FEDGPO_FL_CLIENT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "device/device_profile.h"
+#include "device/interference.h"
+#include "device/network_model.h"
+#include "fl/types.h"
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace fl {
+
+/**
+ * One participating device.
+ */
+class Client
+{
+  public:
+    /**
+     * @param id           Fleet index.
+     * @param category     Performance tier.
+     * @param shard        Indices into the shared training Dataset.
+     * @param interference Per-device interference process (moved in).
+     * @param rng          Per-client stream for shuffling and variance.
+     */
+    Client(std::size_t id, device::Category category,
+           std::vector<std::size_t> shard,
+           device::InterferenceProcess interference, util::Rng rng);
+
+    std::size_t id() const { return id_; }
+    device::Category category() const { return category_; }
+    const std::vector<std::size_t> &shard() const { return shard_; }
+    std::size_t shardSize() const { return shard_.size(); }
+
+    /**
+     * Advance the stochastic runtime state by one round (interference and
+     * network draw) and return it. Called once per round for every device
+     * so the processes evolve whether or not the device participates.
+     */
+    void stepRuntime(const device::NetworkModel &network);
+
+    /** Latest interference state. */
+    const device::InterferenceState &interference() const
+    {
+        return interference_state_;
+    }
+
+    /** Latest network state. */
+    const device::NetworkState &network() const { return network_state_; }
+
+    /**
+     * Result of one ClientUpdate: the locally trained weights plus the
+     * mean training loss observed.
+     */
+    struct UpdateResult
+    {
+        std::vector<float> weights;
+        double train_loss = 0.0;
+        std::size_t samples = 0;
+    };
+
+    /**
+     * FedAvg ClientUpdate (Algorithm 1): split the shard into batches of
+     * size B, run E local epochs of SGD, return the trained weights.
+     *
+     * @param scratch  Model pre-loaded with the current global weights;
+     *                 its parameters are mutated in place.
+     * @param dataset  Shared training data store.
+     * @param params   Per-device (B, E).
+     * @param lr       SGD learning rate eta.
+     */
+    UpdateResult localTrain(nn::Model &scratch, const data::Dataset &dataset,
+                            const PerDeviceParams &params, double lr);
+
+  private:
+    std::size_t id_;
+    device::Category category_;
+    std::vector<std::size_t> shard_;
+    device::InterferenceProcess interference_;
+    util::Rng rng_;
+    device::InterferenceState interference_state_;
+    device::NetworkState network_state_;
+};
+
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_CLIENT_H_

@@ -1,0 +1,356 @@
+#include "fl/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "device/cost_model.h"
+#include "device/power_model.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace fedgpo {
+namespace fl {
+
+namespace {
+
+data::Dataset
+makeTrainSet(models::Workload w, std::size_t n, util::Rng &rng)
+{
+    switch (w) {
+      case models::Workload::CnnMnist:
+        return data::makeSyntheticMnist(n, rng);
+      case models::Workload::LstmShakespeare:
+        return data::makeSyntheticShakespeare(n, rng);
+      case models::Workload::MobileNetImageNet:
+        return data::makeSyntheticImageNet(n, rng);
+    }
+    util::fatal("makeTrainSet: unknown workload");
+}
+
+} // namespace
+
+FlSimulator::FlSimulator(const FlConfig &config)
+    : config_(config), rng_(config.seed),
+      network_model_(config.network_unstable)
+{
+    if (config_.n_devices == 0)
+        util::fatal("FlConfig: n_devices must be positive");
+
+    // Train and test sets share the generator stream so class prototypes
+    // (or the Markov chain) match between them: test measures the same
+    // concept the clients train on.
+    util::Rng data_rng = rng_.split(1);
+    const std::size_t total = config_.train_samples + config_.test_samples;
+    data::Dataset all = makeTrainSet(config_.workload, total, data_rng);
+
+    // Split off the test set (tail samples).
+    {
+        std::vector<std::size_t> train_idx(config_.train_samples);
+        std::vector<std::size_t> test_idx(config_.test_samples);
+        for (std::size_t i = 0; i < config_.train_samples; ++i)
+            train_idx[i] = i;
+        for (std::size_t i = 0; i < config_.test_samples; ++i)
+            test_idx[i] = config_.train_samples + i;
+        tensor::Tensor feat;
+        std::vector<int> labels;
+        all.gather(train_idx, feat, labels);
+        train_set_ = data::Dataset(std::move(feat), std::move(labels),
+                                   all.numClasses());
+        tensor::Tensor tfeat;
+        std::vector<int> tlabels;
+        all.gather(test_idx, tfeat, tlabels);
+        test_set_ = data::Dataset(std::move(tfeat), std::move(tlabels),
+                                  all.numClasses());
+    }
+
+    // Global + scratch models from the same init seed (identical w_0).
+    global_model_ = models::buildModel(config_.workload, config_.seed ^ 7);
+    scratch_model_ = models::buildModel(config_.workload, config_.seed ^ 7);
+    census_ = global_model_->census();
+    train_flops_ = global_model_->trainFlopsPerSample();
+    param_bytes_ = global_model_->paramBytes();
+    global_weights_ = global_model_->saveParams();
+    lr_ = config_.lr > 0.0 ? config_.lr
+                           : models::defaultLearningRate(config_.workload);
+
+    // Partition the training data over the fleet.
+    util::Rng part_rng = rng_.split(2);
+    data::Partition shards =
+        data::makePartition(train_set_, config_.n_devices,
+                            config_.distribution, part_rng,
+                            config_.dirichlet_alpha);
+
+    // Build the fleet with the paper's 15/35/50 tier mix.
+    auto tiers = device::fleetComposition(config_.n_devices);
+    clients_.reserve(config_.n_devices);
+    for (std::size_t i = 0; i < config_.n_devices; ++i) {
+        device::InterferenceProcess interference(config_.interference);
+        clients_.emplace_back(i, tiers[i], std::move(shards[i]),
+                              std::move(interference),
+                              rng_.split(100 + i));
+    }
+}
+
+std::vector<std::size_t>
+FlSimulator::selectClients(int k)
+{
+    const int capped =
+        std::clamp(k, 1, static_cast<int>(clients_.size()));
+    return rng_.sampleWithoutReplacement(static_cast<std::size_t>(capped),
+                                         clients_.size());
+}
+
+std::vector<DeviceObservation>
+FlSimulator::observe(const std::vector<std::size_t> &selected) const
+{
+    std::vector<DeviceObservation> out;
+    out.reserve(selected.size());
+    for (std::size_t id : selected) {
+        const Client &c = clients_[id];
+        DeviceObservation obs;
+        obs.client_id = id;
+        obs.category = c.category();
+        obs.interference = c.interference();
+        obs.network = c.network();
+        obs.data_classes = train_set_.classesPresent(c.shard());
+        obs.total_classes = train_set_.numClasses();
+        obs.shard_size = c.shardSize();
+        out.push_back(obs);
+    }
+    return out;
+}
+
+double
+FlSimulator::predictedRoundTime(std::size_t client_id,
+                                const PerDeviceParams &params) const
+{
+    const Client &c = clients_.at(client_id);
+    device::LocalWorkSpec work;
+    work.train_flops_per_sample = train_flops_;
+    work.samples = c.shardSize();
+    work.batch = params.batch;
+    work.epochs = params.epochs;
+    work.param_bytes = param_bytes_;
+    auto cost = device::clientRoundCost(
+        device::profileFor(c.category()), device::costFor(config_.workload),
+        work, c.interference(), c.network());
+    return cost.t_round;
+}
+
+RoundResult
+FlSimulator::runRound(optim::ParamOptimizer &policy)
+{
+    // Advance every device's stochastic runtime state once per round.
+    for (auto &c : clients_)
+        c.stepRuntime(network_model_);
+
+    const int k = policy.chooseClients(static_cast<int>(clients_.size()));
+    auto selected = selectClients(k);
+    auto observations = observe(selected);
+    auto params = policy.assign(observations, census_);
+    assert(params.size() == selected.size());
+    RoundResult result = executeRound(selected, params);
+    policy.feedback(result);
+    return result;
+}
+
+RoundResult
+FlSimulator::runRoundWithParams(const GlobalParams &params)
+{
+    for (auto &c : clients_)
+        c.stepRuntime(network_model_);
+    auto selected = selectClients(params.clients);
+    std::vector<PerDeviceParams> per_device(
+        selected.size(), PerDeviceParams{params.batch, params.epochs});
+    return executeRound(selected, per_device);
+}
+
+RoundResult
+FlSimulator::executeRound(const std::vector<std::size_t> &selected,
+                          const std::vector<PerDeviceParams> &params)
+{
+    assert(selected.size() == params.size());
+    RoundResult result;
+    result.round = ++round_;
+
+    const auto &cost_const = device::costFor(config_.workload);
+
+    // Phase 1: every participant trains locally (real SGD) and its round
+    // cost is modeled.
+    std::vector<Client::UpdateResult> updates(selected.size());
+    std::vector<double> times;
+    times.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        Client &c = clients_[selected[i]];
+        scratch_model_->loadParams(global_weights_);
+        updates[i] = c.localTrain(*scratch_model_, train_set_, params[i],
+                                  lr_);
+
+        device::LocalWorkSpec work;
+        work.train_flops_per_sample = train_flops_;
+        work.samples = c.shardSize();
+        work.batch = params[i].batch;
+        work.epochs = params[i].epochs;
+        work.param_bytes = param_bytes_;
+
+        ClientRoundReport report;
+        report.client_id = c.id();
+        report.category = c.category();
+        report.params = params[i];
+        report.interference = c.interference();
+        report.network = c.network();
+        report.samples = c.shardSize();
+        report.train_loss = updates[i].train_loss;
+        report.cost = device::clientRoundCost(
+            device::profileFor(c.category()), cost_const, work,
+            c.interference(), c.network());
+        times.push_back(report.cost.t_round);
+        result.participants.push_back(std::move(report));
+    }
+
+    // Phase 2: straggler deadline. Devices beyond deadline_factor x the
+    // median finish time are dropped (their updates discarded), matching
+    // the drop policy of the systems the paper compares against.
+    const double median_t = util::quantile(times, 0.5);
+    const double deadline = config_.deadline_factor * median_t;
+    double round_time = 0.0;
+    for (auto &p : result.participants) {
+        if (p.cost.t_round > deadline) {
+            p.dropped = true;
+            ++result.dropped_count;
+            // The device computes until the server gives up on it, then
+            // aborts: it burns energy for the deadline window.
+            const double frac = deadline / p.cost.t_round;
+            p.cost.e_comp *= frac;
+            p.cost.e_comm *= frac;
+            p.cost.e_total = p.cost.e_comp + p.cost.e_comm;
+            round_time = std::max(round_time, deadline);
+        } else {
+            round_time = std::max(round_time, p.cost.t_round);
+        }
+    }
+    result.round_time = round_time;
+
+    // Participants that finished early wait for the round's stragglers
+    // with the runtime and connection held open — the redundant energy
+    // adaptive per-device parameters remove (paper Fig. 5).
+    for (auto &p : result.participants) {
+        if (!p.dropped && p.cost.t_round < round_time) {
+            device::PowerModel power(device::profileFor(p.category));
+            p.cost.e_wait =
+                power.waitPower() * (round_time - p.cost.t_round);
+            p.cost.e_total += p.cost.e_wait;
+        }
+    }
+
+    // Phase 3: FedAvg aggregation over kept updates, weighted by sample
+    // count. Updates containing non-finite values (a client diverged
+    // under an aggressive configuration) are rejected — one bad client
+    // must not poison the global model.
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        if (result.participants[i].dropped)
+            continue;
+        bool finite = true;
+        for (float v : updates[i].weights) {
+            if (!std::isfinite(v)) {
+                finite = false;
+                break;
+            }
+        }
+        if (!finite) {
+            result.participants[i].dropped = true;
+            ++result.dropped_count;
+            util::logWarn("round " + std::to_string(round_) + ": client " +
+                          std::to_string(selected[i]) +
+                          " update diverged; rejected");
+        }
+    }
+    std::size_t total_samples = 0;
+    for (std::size_t i = 0; i < selected.size(); ++i)
+        if (!result.participants[i].dropped)
+            total_samples += updates[i].samples;
+    if (total_samples > 0) {
+        std::vector<double> acc(global_weights_.size(), 0.0);
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            if (result.participants[i].dropped)
+                continue;
+            const double wgt = static_cast<double>(updates[i].samples) /
+                               static_cast<double>(total_samples);
+            const auto &wv = updates[i].weights;
+            assert(wv.size() == acc.size());
+            for (std::size_t j = 0; j < acc.size(); ++j)
+                acc[j] += wgt * wv[j];
+        }
+        for (std::size_t j = 0; j < acc.size(); ++j)
+            global_weights_[j] = static_cast<float>(acc[j]);
+        global_model_->loadParams(global_weights_);
+    }
+    result.samples_aggregated = total_samples;
+
+    // Phase 4: energy bookkeeping over the whole fleet (Eqs. 4-6).
+    std::vector<bool> participating(clients_.size(), false);
+    for (std::size_t id : selected)
+        participating[id] = true;
+    for (const auto &p : result.participants)
+        result.energy_participants += p.cost.e_total;
+    for (std::size_t id = 0; id < clients_.size(); ++id) {
+        if (!participating[id]) {
+            device::PowerModel power(
+                device::profileFor(clients_[id].category()));
+            result.energy_idle += power.idleEnergy(result.round_time);
+        }
+    }
+    result.energy_total = result.energy_participants + result.energy_idle;
+
+    // Phase 5: evaluation.
+    auto eval = evaluateGlobal();
+    result.test_accuracy = eval.accuracy;
+    result.test_loss = eval.loss;
+    last_accuracy_ = eval.accuracy;
+    double loss_sum = 0.0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < result.participants.size(); ++i) {
+        if (!result.participants[i].dropped) {
+            loss_sum += result.participants[i].train_loss;
+            ++kept;
+        }
+    }
+    result.train_loss = kept > 0 ? loss_sum / static_cast<double>(kept)
+                                 : 0.0;
+    return result;
+}
+
+nn::Model::EvalResult
+FlSimulator::evaluateGlobal()
+{
+    nn::Model::EvalResult total;
+    std::size_t seen = 0;
+    std::size_t correct_weighted = 0;
+    double loss_weighted = 0.0;
+    std::vector<std::size_t> idx;
+    for (std::size_t start = 0; start < test_set_.size();
+         start += config_.eval_batch) {
+        const std::size_t end =
+            std::min(start + config_.eval_batch, test_set_.size());
+        idx.resize(end - start);
+        for (std::size_t i = start; i < end; ++i)
+            idx[i - start] = i;
+        test_set_.gather(idx, eval_batch_buf_, eval_labels_buf_);
+        auto r = global_model_->evaluate(eval_batch_buf_, eval_labels_buf_);
+        loss_weighted += r.loss * static_cast<double>(end - start);
+        correct_weighted += static_cast<std::size_t>(
+            std::lround(r.accuracy * static_cast<double>(end - start)));
+        seen += end - start;
+    }
+    if (seen > 0) {
+        total.loss = loss_weighted / static_cast<double>(seen);
+        total.accuracy = static_cast<double>(correct_weighted) /
+                         static_cast<double>(seen);
+    }
+    return total;
+}
+
+} // namespace fl
+} // namespace fedgpo

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The federated-learning simulator: FedAvg (Algorithm 1) over a fleet of
+ * modeled mobile devices.
+ *
+ * Learning is real — every selected client runs actual SGD on its shard of
+ * a synthetic dataset and the server aggregates actual weights — while
+ * time and energy come from the device cost model (Eqs. 2-4), never from
+ * host timing. One simulator instance owns the global model, the fleet,
+ * the shared data store, and the straggler/deadline policy.
+ */
+
+#ifndef FEDGPO_FL_SIMULATOR_H_
+#define FEDGPO_FL_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "device/network_model.h"
+#include "fl/client.h"
+#include "fl/types.h"
+#include "models/zoo.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace fl {
+
+/**
+ * Scenario configuration for one simulator instance.
+ */
+struct FlConfig
+{
+    models::Workload workload = models::Workload::CnnMnist;
+    std::size_t n_devices = 40;       //!< fleet size (paper: 200)
+    std::size_t train_samples = 1600; //!< global training pool
+    std::size_t test_samples = 320;   //!< held-out evaluation set
+    data::Distribution distribution = data::Distribution::IidIdeal;
+    double dirichlet_alpha = 0.1;     //!< paper's non-IID concentration
+    bool interference = false;        //!< co-running app variance
+    bool network_unstable = false;    //!< unstable-network variance
+    double deadline_factor = 3.0;     //!< straggler drop threshold vs median
+    std::uint64_t seed = 42;
+    double lr = 0.0;                  //!< 0 = workload default
+    std::size_t eval_batch = 64;
+};
+
+/**
+ * FedAvg simulator.
+ */
+class FlSimulator
+{
+  public:
+    explicit FlSimulator(const FlConfig &config);
+
+    /** Scenario configuration. */
+    const FlConfig &config() const { return config_; }
+
+    /** Fleet size N. */
+    std::size_t numDevices() const { return clients_.size(); }
+
+    /** Device i (for observation by benches/tests). */
+    const Client &client(std::size_t i) const { return clients_.at(i); }
+
+    /** The shared global model (server copy). */
+    nn::Model &globalModel() { return *global_model_; }
+
+    /** Layer census of the global model. */
+    const nn::LayerCensus &census() const { return census_; }
+
+    /** Rounds executed so far. */
+    int round() const { return round_; }
+
+    /** Latest test accuracy (0 before the first evaluation). */
+    double testAccuracy() const { return last_accuracy_; }
+
+    /**
+     * Run one full aggregation round driven by the given policy:
+     * client selection, per-device assignment, real local training,
+     * cost modeling, straggler deadline, aggregation, evaluation, and
+     * policy feedback.
+     */
+    RoundResult runRound(optim::ParamOptimizer &policy);
+
+    /**
+     * Run one round with an externally fixed assignment (used by grid
+     * search and the parameter-sweep benches). Selection is still uniform
+     * random over the fleet.
+     */
+    RoundResult runRoundWithParams(const GlobalParams &params);
+
+    /**
+     * Predicted round time of a device under hypothetical parameters and
+     * its *current* runtime state, from the cost model only (no training).
+     * Used by the Table 5 oracle and by tests.
+     */
+    double predictedRoundTime(std::size_t client_id,
+                              const PerDeviceParams &params) const;
+
+    /** Evaluate the global model on the held-out test set. */
+    nn::Model::EvalResult evaluateGlobal();
+
+    /** Per-sample training FLOPs of the (proxy) model. */
+    std::uint64_t trainFlopsPerSample() const { return train_flops_; }
+
+    /** One-way parameter payload in (proxy) bytes. */
+    std::size_t paramBytes() const { return param_bytes_; }
+
+  private:
+    /** Select k distinct clients uniformly (FedAvg's random S_t). */
+    std::vector<std::size_t> selectClients(int k);
+
+    /** Build observations for the selected clients. */
+    std::vector<DeviceObservation>
+    observe(const std::vector<std::size_t> &selected) const;
+
+    /** Shared round body once selection and assignment are fixed. */
+    RoundResult executeRound(const std::vector<std::size_t> &selected,
+                             const std::vector<PerDeviceParams> &params);
+
+    FlConfig config_;
+    util::Rng rng_;
+    data::Dataset train_set_;
+    data::Dataset test_set_;
+    std::unique_ptr<nn::Model> global_model_;
+    std::unique_ptr<nn::Model> scratch_model_;
+    nn::LayerCensus census_;
+    std::vector<Client> clients_;
+    device::NetworkModel network_model_;
+    std::vector<float> global_weights_;
+    std::uint64_t train_flops_ = 0;
+    std::size_t param_bytes_ = 0;
+    double lr_ = 0.0;
+    int round_ = 0;
+    double last_accuracy_ = 0.0;
+
+    // Reusable evaluation buffers.
+    tensor::Tensor eval_batch_buf_;
+    std::vector<int> eval_labels_buf_;
+};
+
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_SIMULATOR_H_

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared value types of the FL simulator: global parameters, per-device
+ * assignments, and per-round results.
+ */
+
+#ifndef FEDGPO_FL_TYPES_H_
+#define FEDGPO_FL_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/device_profile.h"
+#include "device/interference.h"
+#include "device/network_model.h"
+
+namespace fedgpo {
+namespace fl {
+
+/**
+ * The paper's global FL parameters: local minibatch size B, local epoch
+ * count E, and participant count K (Algorithm 1).
+ */
+struct GlobalParams
+{
+    int batch = 8;    //!< B
+    int epochs = 10;  //!< E
+    int clients = 20; //!< K
+
+    bool
+    operator==(const GlobalParams &o) const
+    {
+        return batch == o.batch && epochs == o.epochs &&
+               clients == o.clients;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Per-device round assignment: FedGPO adapts B and E per device
+ * (K is a single global knob per round).
+ */
+struct PerDeviceParams
+{
+    int batch = 8;
+    int epochs = 10;
+
+    bool
+    operator==(const PerDeviceParams &o) const
+    {
+        return batch == o.batch && epochs == o.epochs;
+    }
+};
+
+/**
+ * What an optimizer sees about one selected device before assigning its
+ * parameters — exactly the per-device state FedGPO featurizes (Table 1):
+ * co-runner CPU/memory usage, network bandwidth, and local data classes.
+ */
+struct DeviceObservation
+{
+    std::size_t client_id = 0;
+    device::Category category = device::Category::High;
+    device::InterferenceState interference;
+    device::NetworkState network;
+    std::size_t data_classes = 0;  //!< distinct classes in the local shard
+    std::size_t total_classes = 0; //!< classes in the global task
+    std::size_t shard_size = 0;    //!< local sample count
+};
+
+/**
+ * Per-participant outcome of a round.
+ */
+struct ClientRoundReport
+{
+    std::size_t client_id = 0;
+    device::Category category = device::Category::High;
+    PerDeviceParams params;
+    device::RoundCost cost;
+    device::InterferenceState interference;
+    device::NetworkState network;
+    std::size_t samples = 0;
+    double train_loss = 0.0;
+    bool dropped = false;  //!< exceeded the straggler deadline
+};
+
+/**
+ * Full outcome of one aggregation round.
+ */
+struct RoundResult
+{
+    int round = 0;
+    std::vector<ClientRoundReport> participants;
+    double round_time = 0.0;          //!< straggler-gated wall clock (s)
+    double energy_participants = 0.0; //!< sum of Eq. 5 first case (J)
+    double energy_idle = 0.0;         //!< Eq. 4 over non-participants (J)
+    double energy_total = 0.0;        //!< Eq. 6 (J)
+    double test_accuracy = 0.0;
+    double test_loss = 0.0;
+    double train_loss = 0.0;          //!< mean over kept participants
+    std::size_t dropped_count = 0;
+    std::size_t samples_aggregated = 0;
+
+    /**
+     * Round-level performance-per-watt proxy: aggregated training work
+     * per Joule. Used for reporting; the RL reward uses Eq. 1 directly.
+     */
+    double goodputPerJoule() const;
+};
+
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_TYPES_H_

@@ -1,0 +1,154 @@
+#include "models/zoo.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/lstm.h"
+#include "nn/pool2d.h"
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace models {
+
+namespace {
+
+constexpr std::size_t kImgExtent = 16;   // MNIST-like geometry
+constexpr std::size_t kMnistClasses = 10;
+constexpr std::size_t kImageNetClasses = 20;
+constexpr std::size_t kSeqLen = 16;
+constexpr std::size_t kVocab = 28;       // a-z + space + period
+
+std::unique_ptr<nn::Model>
+buildCnnMnist(util::Rng &rng)
+{
+    // conv3x3(1->8) -> relu -> pool2 -> conv3x3(8->16) -> relu -> pool2
+    // -> flatten(16*4*4) -> dense(256->32) -> relu -> dense(32->10)
+    auto model = std::make_unique<nn::Model>();
+    model->add(std::make_unique<nn::Conv2D>(1, 8, 3, kImgExtent, kImgExtent,
+                                            1, 1, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::MaxPool2D>(8, 2, kImgExtent,
+                                               kImgExtent));
+    model->add(std::make_unique<nn::Conv2D>(8, 16, 3, 8, 8, 1, 1, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::MaxPool2D>(16, 2, 8, 8));
+    model->add(std::make_unique<nn::Flatten>());
+    model->add(std::make_unique<nn::Dense>(16 * 4 * 4, 32, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::Dense>(32, kMnistClasses, rng));
+    return model;
+}
+
+std::unique_ptr<nn::Model>
+buildLstmShakespeare(util::Rng &rng)
+{
+    // lstm(V->32, T=16) -> dense(32->V)
+    auto model = std::make_unique<nn::Model>();
+    model->add(std::make_unique<nn::LSTM>(kVocab, 32, kSeqLen, rng));
+    model->add(std::make_unique<nn::Dense>(32, kVocab, rng));
+    return model;
+}
+
+std::unique_ptr<nn::Model>
+buildMobileNetImageNet(util::Rng &rng)
+{
+    // MobileNet-lite: standard stem conv, then two depthwise-separable
+    // blocks, each dw3x3 + pw1x1, with pooling between stages.
+    auto model = std::make_unique<nn::Model>();
+    model->add(std::make_unique<nn::Conv2D>(3, 8, 3, kImgExtent, kImgExtent,
+                                            1, 1, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::DepthwiseConv2D>(8, 3, kImgExtent,
+                                                     kImgExtent, 1, 1, rng));
+    model->add(std::make_unique<nn::Conv2D>(8, 16, 1, kImgExtent,
+                                            kImgExtent, 1, 0, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::MaxPool2D>(16, 2, kImgExtent,
+                                               kImgExtent));
+    model->add(std::make_unique<nn::DepthwiseConv2D>(16, 3, 8, 8, 1, 1,
+                                                     rng));
+    model->add(std::make_unique<nn::Conv2D>(16, 32, 1, 8, 8, 1, 0, rng));
+    model->add(std::make_unique<nn::ReLU>());
+    model->add(std::make_unique<nn::MaxPool2D>(32, 2, 8, 8));
+    model->add(std::make_unique<nn::Flatten>());
+    model->add(std::make_unique<nn::Dense>(32 * 4 * 4, kImageNetClasses,
+                                           rng));
+    return model;
+}
+
+} // namespace
+
+std::string
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:          return "CNN-MNIST";
+      case Workload::LstmShakespeare:   return "LSTM-Shakespeare";
+      case Workload::MobileNetImageNet: return "MobileNet-ImageNet";
+    }
+    return "?";
+}
+
+std::size_t
+numClasses(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:          return kMnistClasses;
+      case Workload::LstmShakespeare:   return kVocab;
+      case Workload::MobileNetImageNet: return kImageNetClasses;
+    }
+    return 0;
+}
+
+tensor::Shape
+sampleShape(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return {1, kImgExtent, kImgExtent};
+      case Workload::LstmShakespeare:
+        return {kSeqLen, kVocab};
+      case Workload::MobileNetImageNet:
+        return {3, kImgExtent, kImgExtent};
+    }
+    return {};
+}
+
+std::size_t
+lstmSeqLen()
+{
+    return kSeqLen;
+}
+
+std::size_t
+lstmVocab()
+{
+    return kVocab;
+}
+
+std::unique_ptr<nn::Model>
+buildModel(Workload w, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    switch (w) {
+      case Workload::CnnMnist:          return buildCnnMnist(rng);
+      case Workload::LstmShakespeare:   return buildLstmShakespeare(rng);
+      case Workload::MobileNetImageNet: return buildMobileNetImageNet(rng);
+    }
+    util::fatal("buildModel: unknown workload");
+}
+
+double
+defaultLearningRate(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:          return 0.15;
+      case Workload::LstmShakespeare:   return 1.0;
+      case Workload::MobileNetImageNet: return 0.12;
+    }
+    return 0.15;
+}
+
+} // namespace models
+} // namespace fedgpo

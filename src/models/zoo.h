@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The three FL workload models evaluated in the paper (Section 4.2):
+ * CNN-MNIST, LSTM-Shakespeare, and MobileNet-ImageNet, scaled to the
+ * synthetic dataset geometries this reproduction trains on.
+ *
+ * Each builder returns a freshly initialized Model; all builders with the
+ * same seed produce identical weights, which is what lets the FL server
+ * and its clients start from a common w_0.
+ */
+
+#ifndef FEDGPO_MODELS_ZOO_H_
+#define FEDGPO_MODELS_ZOO_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/model.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace models {
+
+/** The paper's three FL workloads. */
+enum class Workload {
+    CnnMnist,          //!< CNN on MNIST-like images (image classification)
+    LstmShakespeare,   //!< LSTM on Shakespeare-like text (next char)
+    MobileNetImageNet, //!< MobileNet-lite on ImageNet-like images
+};
+
+/** All workloads, for iteration in benches. */
+inline constexpr Workload kAllWorkloads[] = {
+    Workload::CnnMnist,
+    Workload::LstmShakespeare,
+    Workload::MobileNetImageNet,
+};
+
+/** Human-readable workload name as the paper spells it. */
+std::string workloadName(Workload w);
+
+/** Number of label classes of the workload's dataset. */
+std::size_t numClasses(Workload w);
+
+/**
+ * Shape of one input sample (without the batch dimension):
+ * CnnMnist [1,16,16], LstmShakespeare [T,V], MobileNetImageNet [3,16,16].
+ */
+tensor::Shape sampleShape(Workload w);
+
+/** Sequence length used by the LSTM workload. */
+std::size_t lstmSeqLen();
+
+/** Character vocabulary size of the Shakespeare-like dataset. */
+std::size_t lstmVocab();
+
+/**
+ * Build a freshly initialized model for the workload.
+ *
+ * @param w    Which workload.
+ * @param seed Weight-initialization seed (same seed => same weights).
+ */
+std::unique_ptr<nn::Model> buildModel(Workload w, std::uint64_t seed);
+
+/** Client-side SGD learning rate the workload trains well with. */
+double defaultLearningRate(Workload w);
+
+} // namespace models
+} // namespace fedgpo
+
+#endif // FEDGPO_MODELS_ZOO_H_

@@ -1,0 +1,106 @@
+#include "nn/activations.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedgpo {
+namespace nn {
+
+const Tensor &
+ReLU::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    if (out_buf_.shape() != in.shape())
+        out_buf_ = Tensor(in.shape());
+    cached_batch_ = in.ndim() > 0 ? in.dim(0) : 1;
+    const float *pi = in.data();
+    float *po = out_buf_.data();
+    for (std::size_t i = 0; i < in.numel(); ++i)
+        po[i] = pi[i] > 0.0f ? pi[i] : 0.0f;
+    return out_buf_;
+}
+
+const Tensor &
+ReLU::backward(const Tensor &grad_out)
+{
+    assert(grad_out.shape() == out_buf_.shape());
+    if (grad_in_.shape() != grad_out.shape())
+        grad_in_ = Tensor(grad_out.shape());
+    const float *po = out_buf_.data();
+    const float *pg = grad_out.data();
+    float *pd = grad_in_.data();
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        pd[i] = po[i] > 0.0f ? pg[i] : 0.0f;
+    return grad_in_;
+}
+
+std::uint64_t
+ReLU::flopsPerSample() const
+{
+    if (out_buf_.numel() == 0 || cached_batch_ == 0)
+        return 0;
+    return out_buf_.numel() / cached_batch_;
+}
+
+const Tensor &
+Tanh::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    if (out_buf_.shape() != in.shape())
+        out_buf_ = Tensor(in.shape());
+    cached_batch_ = in.ndim() > 0 ? in.dim(0) : 1;
+    const float *pi = in.data();
+    float *po = out_buf_.data();
+    for (std::size_t i = 0; i < in.numel(); ++i)
+        po[i] = std::tanh(pi[i]);
+    return out_buf_;
+}
+
+const Tensor &
+Tanh::backward(const Tensor &grad_out)
+{
+    assert(grad_out.shape() == out_buf_.shape());
+    if (grad_in_.shape() != grad_out.shape())
+        grad_in_ = Tensor(grad_out.shape());
+    const float *po = out_buf_.data();
+    const float *pg = grad_out.data();
+    float *pd = grad_in_.data();
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        pd[i] = pg[i] * (1.0f - po[i] * po[i]);
+    return grad_in_;
+}
+
+std::uint64_t
+Tanh::flopsPerSample() const
+{
+    if (out_buf_.numel() == 0 || cached_batch_ == 0)
+        return 0;
+    // tanh is several FLOPs; count 4 per element as a conventional cost.
+    return 4ULL * (out_buf_.numel() / cached_batch_);
+}
+
+const Tensor &
+Flatten::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    assert(in.ndim() >= 1);
+    cached_shape_ = in.shape();
+    const std::size_t n = in.dim(0);
+    const std::size_t rest = in.numel() / n;
+    out_buf_ = Tensor({n, rest},
+                      std::vector<float>(in.data(), in.data() + in.numel()));
+    return out_buf_;
+}
+
+const Tensor &
+Flatten::backward(const Tensor &grad_out)
+{
+    assert(grad_out.numel() == tensor::shapeNumel(cached_shape_));
+    grad_in_ = Tensor(cached_shape_,
+                      std::vector<float>(grad_out.data(),
+                                         grad_out.data() + grad_out.numel()));
+    return grad_in_;
+}
+
+} // namespace nn
+} // namespace fedgpo

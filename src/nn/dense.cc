@@ -1,0 +1,70 @@
+#include "nn/dense.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fedgpo {
+namespace nn {
+
+Dense::Dense(std::size_t in, std::size_t out, util::Rng &rng)
+    : in_(in), out_(out),
+      w_({in, out}), b_({out}),
+      dw_({in, out}), db_({out})
+{
+    xavierUniform(w_, in, out, rng);
+}
+
+std::string
+Dense::name() const
+{
+    return "dense(" + std::to_string(in_) + "->" + std::to_string(out_) +
+           ")";
+}
+
+const Tensor &
+Dense::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    assert(in.ndim() == 2 && in.dim(1) == in_);
+    cached_in_ = &in;
+    tensor::matmul(in, w_, out_buf_);
+    const std::size_t n = in.dim(0);
+    float *po = out_buf_.data();
+    const float *pb = b_.data();
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < out_; ++c)
+            po[r * out_ + c] += pb[c];
+    return out_buf_;
+}
+
+const Tensor &
+Dense::backward(const Tensor &grad_out)
+{
+    assert(cached_in_ != nullptr);
+    assert(grad_out.ndim() == 2 && grad_out.dim(1) == out_);
+    const Tensor &x = *cached_in_;
+    // dW += x^T dy ; db += column sums of dy ; dx = dy W^T
+    Tensor dw_step;
+    tensor::matmulTransA(x, grad_out, dw_step);
+    dw_ += dw_step;
+    const std::size_t n = grad_out.dim(0);
+    const float *pg = grad_out.data();
+    float *pdb = db_.data();
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < out_; ++c)
+            pdb[c] += pg[r * out_ + c];
+    tensor::matmulTransB(grad_out, w_, grad_in_);
+    return grad_in_;
+}
+
+std::uint64_t
+Dense::flopsPerSample() const
+{
+    // One multiply + one add per weight, plus the bias add.
+    return 2ULL * in_ * out_ + out_;
+}
+
+} // namespace nn
+} // namespace fedgpo

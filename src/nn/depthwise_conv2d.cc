@@ -1,0 +1,137 @@
+#include "nn/depthwise_conv2d.h"
+
+#include <cassert>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fedgpo {
+namespace nn {
+
+DepthwiseConv2D::DepthwiseConv2D(std::size_t c, std::size_t k,
+                                 std::size_t h, std::size_t w,
+                                 std::size_t stride, std::size_t pad,
+                                 util::Rng &rng)
+    : c_(c), k_(k), in_h_(h), in_w_(w), stride_(stride), pad_(pad),
+      oh_(tensor::convOutExtent(h, k, stride, pad)),
+      ow_(tensor::convOutExtent(w, k, stride, pad)),
+      weights_({c, k, k}), b_({c}), dw_({c, k, k}), db_({c})
+{
+    heNormal(weights_, k * k, rng);
+}
+
+std::string
+DepthwiseConv2D::name() const
+{
+    return "dwconv" + std::to_string(k_) + "x" + std::to_string(k_) + "(" +
+           std::to_string(c_) + ")";
+}
+
+const Tensor &
+DepthwiseConv2D::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    assert(in.ndim() == 4);
+    assert(in.dim(1) == c_ && in.dim(2) == in_h_ && in.dim(3) == in_w_);
+    const std::size_t n = in.dim(0);
+    cached_in_ = &in;
+    if (out_buf_.ndim() != 4 || out_buf_.dim(0) != n)
+        out_buf_ = Tensor({n, c_, oh_, ow_});
+    const float *pi = in.data();
+    const float *pw = weights_.data();
+    const float *pb = b_.data();
+    float *po = out_buf_.data();
+    for (std::size_t img = 0; img < n; ++img) {
+        for (std::size_t ch = 0; ch < c_; ++ch) {
+            const float *x = pi + (img * c_ + ch) * in_h_ * in_w_;
+            const float *f = pw + ch * k_ * k_;
+            float *y = po + (img * c_ + ch) * oh_ * ow_;
+            for (std::size_t oy = 0; oy < oh_; ++oy) {
+                for (std::size_t ox = 0; ox < ow_; ++ox) {
+                    float acc = pb[ch];
+                    for (std::size_t ky = 0; ky < k_; ++ky) {
+                        const long iy =
+                            static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(in_h_))
+                            continue;
+                        for (std::size_t kx = 0; kx < k_; ++kx) {
+                            const long ix =
+                                static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(in_w_))
+                                continue;
+                            acc += f[ky * k_ + kx] * x[iy * in_w_ + ix];
+                        }
+                    }
+                    y[oy * ow_ + ox] = acc;
+                }
+            }
+        }
+    }
+    return out_buf_;
+}
+
+const Tensor &
+DepthwiseConv2D::backward(const Tensor &grad_out)
+{
+    assert(cached_in_ != nullptr);
+    const Tensor &in = *cached_in_;
+    const std::size_t n = in.dim(0);
+    assert(grad_out.ndim() == 4 && grad_out.dim(0) == n);
+    assert(grad_out.dim(1) == c_);
+    if (grad_in_.ndim() != 4 || grad_in_.dim(0) != n)
+        grad_in_ = Tensor({n, c_, in_h_, in_w_});
+    grad_in_.zero();
+    const float *pi = in.data();
+    const float *pw = weights_.data();
+    const float *pg = grad_out.data();
+    float *pdw = dw_.data();
+    float *pdb = db_.data();
+    float *pdi = grad_in_.data();
+    for (std::size_t img = 0; img < n; ++img) {
+        for (std::size_t ch = 0; ch < c_; ++ch) {
+            const float *x = pi + (img * c_ + ch) * in_h_ * in_w_;
+            const float *f = pw + ch * k_ * k_;
+            const float *dy = pg + (img * c_ + ch) * oh_ * ow_;
+            float *df = pdw + ch * k_ * k_;
+            float *dx = pdi + (img * c_ + ch) * in_h_ * in_w_;
+            for (std::size_t oy = 0; oy < oh_; ++oy) {
+                for (std::size_t ox = 0; ox < ow_; ++ox) {
+                    const float g = dy[oy * ow_ + ox];
+                    if (g == 0.0f)
+                        continue;
+                    pdb[ch] += g;
+                    for (std::size_t ky = 0; ky < k_; ++ky) {
+                        const long iy =
+                            static_cast<long>(oy * stride_ + ky) -
+                            static_cast<long>(pad_);
+                        if (iy < 0 || iy >= static_cast<long>(in_h_))
+                            continue;
+                        for (std::size_t kx = 0; kx < k_; ++kx) {
+                            const long ix =
+                                static_cast<long>(ox * stride_ + kx) -
+                                static_cast<long>(pad_);
+                            if (ix < 0 || ix >= static_cast<long>(in_w_))
+                                continue;
+                            df[ky * k_ + kx] += g * x[iy * in_w_ + ix];
+                            dx[iy * in_w_ + ix] += g * f[ky * k_ + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in_;
+}
+
+std::uint64_t
+DepthwiseConv2D::flopsPerSample() const
+{
+    const std::uint64_t macs =
+        static_cast<std::uint64_t>(oh_) * ow_ * c_ * k_ * k_;
+    return 2ULL * macs + static_cast<std::uint64_t>(oh_) * ow_ * c_;
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,27 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fedgpo {
+namespace nn {
+
+void
+xavierUniform(tensor::Tensor &w, std::size_t fan_in, std::size_t fan_out,
+              util::Rng &rng)
+{
+    const double a =
+        std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void
+heNormal(tensor::Tensor &w, std::size_t fan_in, util::Rng &rng)
+{
+    const double sd = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = static_cast<float>(rng.gaussian(0.0, sd));
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Weight initialization helpers.
+ */
+
+#ifndef FEDGPO_NN_INIT_H_
+#define FEDGPO_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace nn {
+
+/**
+ * Fill with Xavier/Glorot uniform values: U(-a, a),
+ * a = sqrt(6 / (fan_in + fan_out)).
+ */
+void xavierUniform(tensor::Tensor &w, std::size_t fan_in,
+                   std::size_t fan_out, util::Rng &rng);
+
+/** Fill with He-normal values: N(0, sqrt(2 / fan_in)). */
+void heNormal(tensor::Tensor &w, std::size_t fan_in, util::Rng &rng);
+
+} // namespace nn
+} // namespace fedgpo
+
+#endif // FEDGPO_NN_INIT_H_

@@ -1,0 +1,23 @@
+#include "nn/layer.h"
+
+namespace fedgpo {
+namespace nn {
+
+void
+Layer::zeroGrad()
+{
+    for (Tensor *g : grads())
+        g->zero();
+}
+
+std::size_t
+Layer::paramCount()
+{
+    std::size_t n = 0;
+    for (Tensor *p : params())
+        n += p->numel();
+    return n;
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,70 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedgpo {
+namespace nn {
+
+double
+SoftmaxCrossEntropy::forward(const tensor::Tensor &logits,
+                             const std::vector<int> &labels)
+{
+    assert(logits.ndim() == 2);
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    assert(labels.size() == n);
+    labels_ = labels;
+    if (probs_.shape() != logits.shape())
+        probs_ = tensor::Tensor(logits.shape());
+    const float *pl = logits.data();
+    float *pp = probs_.data();
+    double loss = 0.0;
+    correct_ = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const float *row = pl + r * c;
+        float *prow = pp + r * c;
+        float max_v = row[0];
+        std::size_t argmax = 0;
+        for (std::size_t j = 1; j < c; ++j) {
+            if (row[j] > max_v) {
+                max_v = row[j];
+                argmax = j;
+            }
+        }
+        double denom = 0.0;
+        for (std::size_t j = 0; j < c; ++j) {
+            prow[j] = std::exp(row[j] - max_v);
+            denom += prow[j];
+        }
+        for (std::size_t j = 0; j < c; ++j)
+            prow[j] = static_cast<float>(prow[j] / denom);
+        const int y = labels[r];
+        assert(y >= 0 && static_cast<std::size_t>(y) < c);
+        loss -= std::log(std::max(1e-12, static_cast<double>(prow[y])));
+        if (argmax == static_cast<std::size_t>(y))
+            ++correct_;
+    }
+    return loss / static_cast<double>(n);
+}
+
+const tensor::Tensor &
+SoftmaxCrossEntropy::backward()
+{
+    const std::size_t n = probs_.dim(0);
+    const std::size_t c = probs_.dim(1);
+    if (grad_.shape() != probs_.shape())
+        grad_ = tensor::Tensor(probs_.shape());
+    const float *pp = probs_.data();
+    float *pg = grad_.data();
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t j = 0; j < c; ++j)
+            pg[r * c + j] = pp[r * c + j] * inv_n;
+        pg[r * c + static_cast<std::size_t>(labels_[r])] -= inv_n;
+    }
+    return grad_;
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,194 @@
+#include "nn/lstm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fedgpo {
+namespace nn {
+
+namespace {
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+LSTM::LSTM(std::size_t in, std::size_t hidden, std::size_t steps,
+           util::Rng &rng)
+    : in_(in), hidden_(hidden), steps_(steps),
+      wx_({in, 4 * hidden}), wh_({hidden, 4 * hidden}), b_({4 * hidden}),
+      dwx_({in, 4 * hidden}), dwh_({hidden, 4 * hidden}), db_({4 * hidden})
+{
+    xavierUniform(wx_, in, 4 * hidden, rng);
+    xavierUniform(wh_, hidden, 4 * hidden, rng);
+    // Forget-gate bias at 1 keeps early gradients flowing.
+    for (std::size_t j = hidden_; j < 2 * hidden_; ++j)
+        b_[j] = 1.0f;
+}
+
+std::string
+LSTM::name() const
+{
+    return "lstm(" + std::to_string(in_) + "->" + std::to_string(hidden_) +
+           ",T=" + std::to_string(steps_) + ")";
+}
+
+const Tensor &
+LSTM::forward(const Tensor &in, bool train)
+{
+    (void)train;
+    assert(in.ndim() == 3);
+    assert(in.dim(1) == steps_ && in.dim(2) == in_);
+    const std::size_t n = in.dim(0);
+    cached_n_ = n;
+    const std::size_t h4 = 4 * hidden_;
+
+    xs_.assign(steps_, Tensor());
+    hs_.assign(steps_ + 1, Tensor({n, hidden_}));
+    cs_.assign(steps_ + 1, Tensor({n, hidden_}));
+    gates_.assign(steps_, Tensor());
+    tanh_c_.assign(steps_, Tensor({n, hidden_}));
+
+    Tensor pre_x, pre_h;
+    for (std::size_t t = 0; t < steps_; ++t) {
+        // Slice x_t out of the [n, T, in] batch.
+        xs_[t] = Tensor({n, in_});
+        for (std::size_t r = 0; r < n; ++r) {
+            const float *src = in.data() + (r * steps_ + t) * in_;
+            float *dst = xs_[t].data() + r * in_;
+            std::copy(src, src + in_, dst);
+        }
+        tensor::matmul(xs_[t], wx_, pre_x);
+        tensor::matmul(hs_[t], wh_, pre_h);
+        gates_[t] = Tensor({n, h4});
+        float *pg = gates_[t].data();
+        const float *px = pre_x.data();
+        const float *ph = pre_h.data();
+        const float *pb = b_.data();
+        const float *pc_prev = cs_[t].data();
+        float *pc = cs_[t + 1].data();
+        float *phn = hs_[t + 1].data();
+        float *ptc = tanh_c_[t].data();
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::size_t row = r * h4;
+            for (std::size_t j = 0; j < h4; ++j) {
+                float pre = px[row + j] + ph[row + j] + pb[j];
+                // Gate order i, f, g, o along the packed axis.
+                if (j >= 2 * hidden_ && j < 3 * hidden_)
+                    pg[row + j] = std::tanh(pre);
+                else
+                    pg[row + j] = sigmoid(pre);
+            }
+            const float *gi = pg + row;
+            const float *gf = gi + hidden_;
+            const float *gg = gf + hidden_;
+            const float *go = gg + hidden_;
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                float c = gf[j] * pc_prev[r * hidden_ + j] + gi[j] * gg[j];
+                pc[r * hidden_ + j] = c;
+                float tc = std::tanh(c);
+                ptc[r * hidden_ + j] = tc;
+                phn[r * hidden_ + j] = go[j] * tc;
+            }
+        }
+    }
+    out_buf_ = hs_[steps_];
+    return out_buf_;
+}
+
+const Tensor &
+LSTM::backward(const Tensor &grad_out)
+{
+    const std::size_t n = cached_n_;
+    assert(n > 0);
+    assert(grad_out.ndim() == 2 && grad_out.dim(0) == n);
+    assert(grad_out.dim(1) == hidden_);
+    const std::size_t h4 = 4 * hidden_;
+
+    if (grad_in_.ndim() != 3 || grad_in_.dim(0) != n)
+        grad_in_ = Tensor({n, steps_, in_});
+    grad_in_.zero();
+
+    Tensor dh = grad_out;          // [n, hidden]
+    Tensor dc({n, hidden_});       // running cell-state gradient
+    Tensor dpre({n, h4});
+    Tensor scratch;
+
+    for (std::size_t t = steps_; t-- > 0;) {
+        const float *pg = gates_[t].data();
+        const float *ptc = tanh_c_[t].data();
+        const float *pc_prev = cs_[t].data();
+        const float *pdh = dh.data();
+        float *pdc = dc.data();
+        float *pdp = dpre.data();
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::size_t row = r * h4;
+            const float *gi = pg + row;
+            const float *gf = gi + hidden_;
+            const float *gg = gf + hidden_;
+            const float *go = gg + hidden_;
+            float *dpi = pdp + row;
+            float *dpf = dpi + hidden_;
+            float *dpg = dpf + hidden_;
+            float *dpo = dpg + hidden_;
+            for (std::size_t j = 0; j < hidden_; ++j) {
+                const std::size_t idx = r * hidden_ + j;
+                const float tc = ptc[idx];
+                const float dho = pdh[idx];
+                // h = o * tanh(c)
+                const float d_o = dho * tc;
+                float d_c = pdc[idx] + dho * go[j] * (1.0f - tc * tc);
+                const float d_i = d_c * gg[j];
+                const float d_f = d_c * pc_prev[idx];
+                const float d_g = d_c * gi[j];
+                // Gradient through the gate nonlinearities.
+                dpi[j] = d_i * gi[j] * (1.0f - gi[j]);
+                dpf[j] = d_f * gf[j] * (1.0f - gf[j]);
+                dpg[j] = d_g * (1.0f - gg[j] * gg[j]);
+                dpo[j] = d_o * go[j] * (1.0f - go[j]);
+                // Carry the cell gradient to t-1.
+                pdc[idx] = d_c * gf[j];
+            }
+        }
+        // Parameter gradients.
+        tensor::matmulTransA(xs_[t], dpre, scratch);
+        dwx_ += scratch;
+        tensor::matmulTransA(hs_[t], dpre, scratch);
+        dwh_ += scratch;
+        float *pdb = db_.data();
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t j = 0; j < h4; ++j)
+                pdb[j] += pdp[r * h4 + j];
+        // Input gradient slice.
+        tensor::matmulTransB(dpre, wx_, scratch);  // [n, in]
+        for (std::size_t r = 0; r < n; ++r) {
+            float *dst = grad_in_.data() + (r * steps_ + t) * in_;
+            const float *src = scratch.data() + r * in_;
+            for (std::size_t j = 0; j < in_; ++j)
+                dst[j] += src[j];
+        }
+        // Hidden gradient to t-1.
+        tensor::matmulTransB(dpre, wh_, dh);
+    }
+    return grad_in_;
+}
+
+std::uint64_t
+LSTM::flopsPerSample() const
+{
+    // Per step: x Wx (2*in*4H) + h Wh (2*H*4H) + ~12 elementwise FLOPs per
+    // hidden unit for gate math.
+    const std::uint64_t per_step =
+        2ULL * in_ * 4 * hidden_ + 2ULL * hidden_ * 4 * hidden_ +
+        12ULL * hidden_;
+    return per_step * steps_;
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,157 @@
+#include "nn/model.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace nn {
+
+Model &
+Model::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+const Tensor &
+Model::forward(const Tensor &input, bool train)
+{
+    assert(!layers_.empty());
+    const Tensor *x = &input;
+    for (auto &layer : layers_)
+        x = &layer->forward(*x, train);
+    return *x;
+}
+
+double
+Model::trainStep(const Tensor &input, const std::vector<int> &labels)
+{
+    const Tensor &logits = forward(input, /*train=*/true);
+    double loss_value = loss_.forward(logits, labels);
+    const Tensor *g = &loss_.backward();
+    for (std::size_t i = layers_.size(); i-- > 0;)
+        g = &layers_[i]->backward(*g);
+    return loss_value;
+}
+
+Model::EvalResult
+Model::evaluate(const Tensor &input, const std::vector<int> &labels)
+{
+    const Tensor &logits = forward(input, /*train=*/false);
+    EvalResult result;
+    result.loss = loss_.forward(logits, labels);
+    result.accuracy = labels.empty()
+                          ? 0.0
+                          : static_cast<double>(loss_.correct()) /
+                                static_cast<double>(labels.size());
+    return result;
+}
+
+void
+Model::zeroGrad()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrad();
+}
+
+std::vector<Tensor *>
+Model::params()
+{
+    std::vector<Tensor *> out;
+    for (auto &layer : layers_)
+        for (Tensor *p : layer->params())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<Tensor *>
+Model::grads()
+{
+    std::vector<Tensor *> out;
+    for (auto &layer : layers_)
+        for (Tensor *g : layer->grads())
+            out.push_back(g);
+    return out;
+}
+
+std::size_t
+Model::paramCount()
+{
+    std::size_t n = 0;
+    for (Tensor *p : params())
+        n += p->numel();
+    return n;
+}
+
+std::size_t
+Model::paramBytes()
+{
+    return paramCount() * sizeof(float);
+}
+
+std::vector<float>
+Model::saveParams()
+{
+    std::vector<float> flat;
+    flat.reserve(paramCount());
+    for (Tensor *p : params())
+        flat.insert(flat.end(), p->data(), p->data() + p->numel());
+    return flat;
+}
+
+void
+Model::loadParams(const std::vector<float> &flat)
+{
+    std::size_t offset = 0;
+    for (Tensor *p : params()) {
+        if (offset + p->numel() > flat.size())
+            util::fatal("Model::loadParams: flat vector too short");
+        std::copy(flat.begin() + static_cast<long>(offset),
+                  flat.begin() + static_cast<long>(offset + p->numel()),
+                  p->data());
+        offset += p->numel();
+    }
+    if (offset != flat.size())
+        util::fatal("Model::loadParams: flat vector too long");
+}
+
+std::uint64_t
+Model::forwardFlopsPerSample() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->flopsPerSample();
+    return total;
+}
+
+std::uint64_t
+Model::trainFlopsPerSample() const
+{
+    return 3ULL * forwardFlopsPerSample();
+}
+
+LayerCensus
+Model::census() const
+{
+    LayerCensus census;
+    for (const auto &layer : layers_) {
+        switch (layer->kind()) {
+          case LayerKind::Conv:
+            ++census.conv;
+            break;
+          case LayerKind::Dense:
+            ++census.dense;
+            break;
+          case LayerKind::Recurrent:
+            ++census.recurrent;
+            break;
+          default:
+            break;
+        }
+    }
+    return census;
+}
+
+} // namespace nn
+} // namespace fedgpo

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ABS comparator (Ma et al. [49]): adaptive batch size for FL in
+ * resource-constrained edge computing via deep reinforcement learning.
+ * ABS adjusts ONLY the local minibatch size B per device — E and K stay
+ * at their defaults — which is exactly why the paper finds it is not
+ * robust to data heterogeneity (B does not control how much non-IID data
+ * reaches the gradients) and trails FedGPO on the straggler problem.
+ *
+ * The DQN is a small MLP built from this repository's own nn layers,
+ * trained online with one-step TD targets and epsilon-greedy exploration.
+ */
+
+#ifndef FEDGPO_OPTIM_ABS_DRL_H_
+#define FEDGPO_OPTIM_ABS_DRL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/reward.h"
+#include "nn/dense.h"
+#include "nn/activations.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * Deep-RL batch-size-only policy.
+ */
+class AbsOptimizer : public ParamOptimizer
+{
+  public:
+    /**
+     * @param seed    Exploration / weight-init stream.
+     * @param epochs  Fixed E used for every device.
+     * @param clients Fixed K used for every round.
+     */
+    explicit AbsOptimizer(std::uint64_t seed = 19, int epochs = 10,
+                          int clients = 20);
+
+    std::string name() const override { return "ABS"; }
+    int chooseClients(int max_k) override;
+    std::vector<fl::PerDeviceParams>
+    assign(const std::vector<fl::DeviceObservation> &devices,
+           const nn::LayerCensus &census) override;
+    void feedback(const fl::RoundResult &result) override;
+
+  private:
+    static constexpr std::size_t kFeatures = 7;
+    static constexpr double kEpsilon = 0.1;
+    static constexpr double kLr = 0.01;
+    static constexpr double kDiscount = 0.1;
+
+    /** Tiny MLP Q-network over batch-size actions. */
+    struct QNetwork
+    {
+        nn::Dense fc1;
+        nn::ReLU relu;
+        nn::Dense fc2;
+
+        QNetwork(std::size_t in, std::size_t hidden, std::size_t out,
+                 util::Rng &rng)
+            : fc1(in, hidden, rng), fc2(hidden, out, rng)
+        {
+        }
+
+        /** Forward one state, returning per-action Q values. */
+        const tensor::Tensor &forward(const tensor::Tensor &x);
+
+        /** One TD step: fit the chosen action's Q toward `target`. */
+        void train(const tensor::Tensor &x, std::size_t action,
+                   double target);
+    };
+
+    /** Featurize one device observation. */
+    static tensor::Tensor featurize(const fl::DeviceObservation &obs);
+
+    struct Decision
+    {
+        std::size_t client_id;
+        tensor::Tensor features;
+        std::size_t action;
+    };
+
+    util::Rng rng_;
+    int epochs_;
+    int clients_;
+    std::unique_ptr<QNetwork> qnet_;
+    std::vector<Decision> pending_;
+    double accuracy_prev_ = 0.0;
+    core::EnergyNormalizer global_norm_;
+    core::EnergyNormalizer local_norm_;
+};
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_ABS_DRL_H_

@@ -1,0 +1,186 @@
+#include "optim/bayesian.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/action_space.h"
+
+namespace fedgpo {
+namespace optim {
+
+namespace {
+
+constexpr double kLengthScale = 0.35;
+constexpr double kNoiseVar = 0.05;
+
+/** Standard normal pdf/cdf for expected improvement. */
+double
+normPdf(double z)
+{
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double
+normCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/**
+ * In-place Cholesky solve: A x = b with A symmetric positive definite.
+ * A is overwritten with its Cholesky factor.
+ */
+std::vector<double>
+choleskySolve(std::vector<double> a, std::vector<double> b, std::size_t n)
+{
+    // Decompose A = L L^T.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a[i * n + j];
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= a[i * n + k] * a[j * n + k];
+            if (i == j)
+                a[i * n + j] = std::sqrt(std::max(sum, 1e-10));
+            else
+                a[i * n + j] = sum / a[j * n + j];
+        }
+    }
+    // Forward substitution L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= a[i * n + k] * b[k];
+        b[i] = sum / a[i * n + i];
+    }
+    // Back substitution L^T x = y.
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            sum -= a[k * n + i] * b[k];
+        b[i] = sum / a[i * n + i];
+    }
+    return b;
+}
+
+} // namespace
+
+BayesianOptimizer::BayesianOptimizer(std::uint64_t seed, int warmup_rounds)
+    : rng_(seed), warmup_(warmup_rounds),
+      candidates_(core::allGlobalParams())
+{
+}
+
+std::array<double, 3>
+BayesianOptimizer::features(const fl::GlobalParams &p)
+{
+    return {std::log2(static_cast<double>(p.batch)) / 5.0,
+            static_cast<double>(p.epochs) / 20.0,
+            static_cast<double>(p.clients) / 20.0};
+}
+
+double
+BayesianOptimizer::kernel(const std::array<double, 3> &a,
+                          const std::array<double, 3> &b)
+{
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return std::exp(-d2 / (2.0 * kLengthScale * kLengthScale));
+}
+
+void
+BayesianOptimizer::predict(std::vector<double> &mean,
+                           std::vector<double> &sd) const
+{
+    const std::size_t n = rewards_.size();
+    assert(n > 0);
+
+    // z-score the targets so the unit-variance GP prior fits.
+    double mu = 0.0;
+    for (double r : rewards_)
+        mu += r;
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (double r : rewards_)
+        var += (r - mu) * (r - mu);
+    const double scale = std::sqrt(std::max(var / static_cast<double>(n),
+                                            1e-6));
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = (rewards_[i] - mu) / scale;
+
+    // Gram matrix with noise on the diagonal.
+    std::vector<std::array<double, 3>> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = features(candidates_[observed_idx_[i]]);
+    std::vector<double> gram(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            gram[i * n + j] = kernel(xs[i], xs[j]);
+        gram[i * n + i] += kNoiseVar;
+    }
+    std::vector<double> alpha = choleskySolve(gram, y, n);
+
+    mean.assign(candidates_.size(), 0.0);
+    sd.assign(candidates_.size(), 0.0);
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        const auto xc = features(candidates_[c]);
+        double m = 0.0;
+        double reduction = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double kx = kernel(xc, xs[i]);
+            m += kx * alpha[i];
+            reduction += kx * kx;  // Nystrom-style variance proxy
+        }
+        mean[c] = m * scale + mu;
+        // Cheap predictive-variance proxy: prior variance shrunk by the
+        // (normalized) similarity mass to observed points. Keeps the
+        // acquisition O(n * |candidates|) instead of O(n^2 * |cand|).
+        const double shrink =
+            reduction / (static_cast<double>(n) * kNoiseVar + reduction);
+        sd[c] = scale * std::sqrt(std::max(1.0 - shrink, 1e-4));
+    }
+}
+
+fl::GlobalParams
+BayesianOptimizer::nextConfig()
+{
+    if (static_cast<int>(rewards_.size()) < warmup_) {
+        const std::size_t pick = rng_.index(candidates_.size());
+        return candidates_[pick];
+    }
+    std::vector<double> mean, sd;
+    predict(mean, sd);
+    const double best = *std::max_element(rewards_.begin(), rewards_.end());
+    std::size_t best_c = 0;
+    double best_ei = -1.0;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        const double z = (mean[c] - best) / sd[c];
+        const double ei = (mean[c] - best) * normCdf(z) + sd[c] * normPdf(z);
+        if (ei > best_ei) {
+            best_ei = ei;
+            best_c = c;
+        }
+    }
+    return candidates_[best_c];
+}
+
+void
+BayesianOptimizer::observeReward(const fl::GlobalParams &config,
+                                 double reward, const fl::RoundResult &)
+{
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        if (candidates_[c] == config) {
+            observed_idx_.push_back(c);
+            rewards_.push_back(reward);
+            return;
+        }
+    }
+    assert(false && "BO observed a config outside the candidate grid");
+}
+
+} // namespace optim
+} // namespace fedgpo

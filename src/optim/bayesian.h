@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Adaptive (BO) baseline: round-by-round global-parameter selection with
+ * Gaussian-process Bayesian optimization and expected improvement, the
+ * family "many state-of-the-art approaches are based" on (paper Section
+ * 4.1). Its per-round sample inefficiency relative to tabular RL is
+ * exactly what Figures 9-11 measure.
+ */
+
+#ifndef FEDGPO_OPTIM_BAYESIAN_H_
+#define FEDGPO_OPTIM_BAYESIAN_H_
+
+#include <vector>
+
+#include "optim/global_policy.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * GP-EI Bayesian optimizer over the discrete (B, E, K) grid.
+ */
+class BayesianOptimizer : public GlobalConfigPolicy
+{
+  public:
+    /**
+     * @param seed          Exploration/tie-break stream.
+     * @param warmup_rounds Rounds of random sampling before the GP is
+     *                      trusted.
+     */
+    explicit BayesianOptimizer(std::uint64_t seed = 11,
+                               int warmup_rounds = 5);
+
+    std::string name() const override { return "Adaptive (BO)"; }
+
+  protected:
+    fl::GlobalParams nextConfig() override;
+    void observeReward(const fl::GlobalParams &config, double reward,
+                       const fl::RoundResult &result) override;
+
+  private:
+    /** Normalized feature vector of a config. */
+    static std::array<double, 3> features(const fl::GlobalParams &p);
+
+    /** RBF kernel between two feature vectors. */
+    static double kernel(const std::array<double, 3> &a,
+                         const std::array<double, 3> &b);
+
+    /**
+     * Fit the GP on all observations and return (mean, sd) predictions
+     * for every candidate config.
+     */
+    void predict(std::vector<double> &mean, std::vector<double> &sd) const;
+
+    util::Rng rng_;
+    int warmup_;
+    std::vector<fl::GlobalParams> candidates_;
+    std::vector<std::size_t> observed_idx_; //!< candidate index per sample
+    std::vector<double> rewards_;
+};
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_BAYESIAN_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Adapter that turns a lambda into a ParamOptimizer — used by the benches
+ * and examples to drive the simulator with custom assignment rules (e.g.
+ * the oracle policies of the motivation figures) without defining a new
+ * policy class each time.
+ */
+
+#ifndef FEDGPO_OPTIM_CALLBACK_POLICY_H_
+#define FEDGPO_OPTIM_CALLBACK_POLICY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "optim/optimizer.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * ParamOptimizer backed by a std::function.
+ */
+class CallbackPolicy : public ParamOptimizer
+{
+  public:
+    using AssignFn = std::function<std::vector<fl::PerDeviceParams>(
+        const std::vector<fl::DeviceObservation> &,
+        const nn::LayerCensus &)>;
+    using FeedbackFn = std::function<void(const fl::RoundResult &)>;
+
+    /**
+     * @param name     Display name.
+     * @param k        Participant count per round (clamped to the fleet).
+     * @param assign   Per-device assignment function.
+     * @param feedback Optional learning hook.
+     */
+    CallbackPolicy(std::string name, int k, AssignFn assign,
+                   FeedbackFn feedback = nullptr)
+        : name_(std::move(name)), k_(k), assign_(std::move(assign)),
+          feedback_(std::move(feedback))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+    int
+    chooseClients(int max_k) override
+    {
+        return std::min(k_, max_k);
+    }
+
+    std::vector<fl::PerDeviceParams>
+    assign(const std::vector<fl::DeviceObservation> &devices,
+           const nn::LayerCensus &census) override
+    {
+        return assign_(devices, census);
+    }
+
+    void
+    feedback(const fl::RoundResult &result) override
+    {
+        if (feedback_)
+            feedback_(result);
+    }
+
+  private:
+    std::string name_;
+    int k_;
+    AssignFn assign_;
+    FeedbackFn feedback_;
+};
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_CALLBACK_POLICY_H_

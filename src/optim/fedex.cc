@@ -1,0 +1,64 @@
+#include "optim/fedex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/action_space.h"
+
+namespace fedgpo {
+namespace optim {
+
+FedExOptimizer::FedExOptimizer(std::uint64_t seed, double eta)
+    : rng_(seed), eta_(eta), candidates_(core::allGlobalParams()),
+      probs_(candidates_.size(),
+             1.0 / static_cast<double>(candidates_.size()))
+{
+}
+
+fl::GlobalParams
+FedExOptimizer::nextConfig()
+{
+    last_pick_ = rng_.categorical(probs_);
+    return candidates_[last_pick_];
+}
+
+void
+FedExOptimizer::observeReward(const fl::GlobalParams &config, double reward,
+                              const fl::RoundResult &)
+{
+    assert(candidates_[last_pick_] == config);
+    (void)config;
+
+    // Running baseline and scale keep the EG exponent well conditioned.
+    ++observations_;
+    const double lr = 1.0 / static_cast<double>(observations_);
+    reward_baseline_ += lr * (reward - reward_baseline_);
+    reward_scale_ +=
+        lr * (std::fabs(reward - reward_baseline_) - reward_scale_);
+    const double scale = std::max(reward_scale_, 1e-3);
+    const double advantage = (reward - reward_baseline_) / scale;
+
+    // Importance-weighted exponentiated gradient on the sampled arm.
+    const double p = std::max(probs_[last_pick_], 1e-6);
+    const double exponent =
+        std::clamp(eta_ * advantage / p, -8.0, 8.0);
+    probs_[last_pick_] *= std::exp(exponent);
+
+    // Renormalize with a small uniform floor so no arm dies permanently
+    // (the environment is non-stationary).
+    double total = 0.0;
+    for (double w : probs_)
+        total += w;
+    const double floor = 1e-4 / static_cast<double>(probs_.size());
+    double retotal = 0.0;
+    for (auto &w : probs_) {
+        w = w / total + floor;
+        retotal += w;
+    }
+    for (auto &w : probs_)
+        w /= retotal;
+}
+
+} // namespace optim
+} // namespace fedgpo

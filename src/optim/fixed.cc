@@ -1,0 +1,13 @@
+#include "optim/fixed.h"
+
+namespace fedgpo {
+namespace optim {
+
+FixedOptimizer::FixedOptimizer(const fl::GlobalParams &params,
+                               std::string label)
+    : params_(params), label_(std::move(label))
+{
+}
+
+} // namespace optim
+} // namespace fedgpo

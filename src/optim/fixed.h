@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Fixed baseline: one (B, E, K) for the whole run. With the config
+ * found by grid search this is the paper's "Fixed (Best)".
+ */
+
+#ifndef FEDGPO_OPTIM_FIXED_H_
+#define FEDGPO_OPTIM_FIXED_H_
+
+#include "optim/global_policy.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * Constant global-parameter policy.
+ */
+class FixedOptimizer : public GlobalConfigPolicy
+{
+  public:
+    /** @param params The fixed (B, E, K). */
+    explicit FixedOptimizer(const fl::GlobalParams &params,
+                            std::string label = "Fixed");
+
+    std::string name() const override { return label_; }
+
+  protected:
+    fl::GlobalParams nextConfig() override { return params_; }
+    void
+    observeReward(const fl::GlobalParams &, double,
+                  const fl::RoundResult &) override
+    {
+    }
+
+  private:
+    fl::GlobalParams params_;
+    std::string label_;
+};
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_FIXED_H_

@@ -1,0 +1,104 @@
+#include "optim/genetic.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/action_space.h"
+
+namespace fedgpo {
+namespace optim {
+
+GeneticOptimizer::GeneticOptimizer(std::uint64_t seed,
+                                   std::size_t population_size,
+                                   double mutation_rate)
+    : rng_(seed), pop_size_(std::max<std::size_t>(population_size, 4)),
+      mutation_rate_(mutation_rate)
+{
+    population_.reserve(pop_size_);
+    for (std::size_t i = 0; i < pop_size_; ++i)
+        population_.push_back(randomGenome());
+}
+
+fl::GlobalParams
+GeneticOptimizer::decode(const Genome &g) const
+{
+    return fl::GlobalParams{core::kBatchSet[g.b], core::kEpochSet[g.e],
+                            core::kClientSet[g.k]};
+}
+
+GeneticOptimizer::Genome
+GeneticOptimizer::randomGenome()
+{
+    Genome g;
+    g.b = rng_.index(core::kBatchSet.size());
+    g.e = rng_.index(core::kEpochSet.size());
+    g.k = rng_.index(core::kClientSet.size());
+    return g;
+}
+
+fl::GlobalParams
+GeneticOptimizer::nextConfig()
+{
+    assert(cursor_ < population_.size());
+    return decode(population_[cursor_]);
+}
+
+void
+GeneticOptimizer::observeReward(const fl::GlobalParams &config,
+                                double reward, const fl::RoundResult &)
+{
+    assert(decode(population_[cursor_]) == config);
+    (void)config;
+    population_[cursor_].fitness = reward;
+    population_[cursor_].scored = true;
+    ++cursor_;
+    if (cursor_ >= population_.size()) {
+        evolve();
+        cursor_ = 0;
+    }
+}
+
+void
+GeneticOptimizer::evolve()
+{
+    ++generation_;
+    // Rank by fitness, best first.
+    std::sort(population_.begin(), population_.end(),
+              [](const Genome &a, const Genome &b) {
+                  return a.fitness > b.fitness;
+              });
+    const std::size_t elite = std::max<std::size_t>(pop_size_ / 4, 1);
+    std::vector<Genome> next(population_.begin(),
+                             population_.begin() +
+                                 static_cast<long>(elite));
+    auto tournament = [&]() -> const Genome & {
+        const Genome &a = population_[rng_.index(pop_size_)];
+        const Genome &b = population_[rng_.index(pop_size_)];
+        return a.fitness >= b.fitness ? a : b;
+    };
+    while (next.size() < pop_size_) {
+        const Genome &pa = tournament();
+        const Genome &pb = tournament();
+        Genome child;
+        // Uniform crossover per gene.
+        child.b = rng_.bernoulli(0.5) ? pa.b : pb.b;
+        child.e = rng_.bernoulli(0.5) ? pa.e : pb.e;
+        child.k = rng_.bernoulli(0.5) ? pa.k : pb.k;
+        // Per-gene mutation.
+        if (rng_.bernoulli(mutation_rate_))
+            child.b = rng_.index(core::kBatchSet.size());
+        if (rng_.bernoulli(mutation_rate_))
+            child.e = rng_.index(core::kEpochSet.size());
+        if (rng_.bernoulli(mutation_rate_))
+            child.k = rng_.index(core::kClientSet.size());
+        next.push_back(child);
+    }
+    for (auto &g : next) {
+        g.scored = false;
+        g.fitness = 0.0;
+    }
+    population_ = std::move(next);
+}
+
+} // namespace optim
+} // namespace fedgpo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Adaptive (GA) baseline: genetic-algorithm global-parameter search
+ * (paper Section 4.1, citing Alibrahim & Ludwig). One individual is
+ * evaluated per aggregation round; once the population has been scored,
+ * tournament selection + uniform crossover + per-gene mutation produce
+ * the next generation. Higher sample efficiency than BO, lower than
+ * tabular RL — the ordering Figure 9 reports.
+ */
+
+#ifndef FEDGPO_OPTIM_GENETIC_H_
+#define FEDGPO_OPTIM_GENETIC_H_
+
+#include <vector>
+
+#include "optim/global_policy.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * GA over the discrete (B, E, K) grid.
+ */
+class GeneticOptimizer : public GlobalConfigPolicy
+{
+  public:
+    /**
+     * @param seed            Random stream for init/crossover/mutation.
+     * @param population_size Individuals per generation.
+     * @param mutation_rate   Per-gene mutation probability.
+     */
+    explicit GeneticOptimizer(std::uint64_t seed = 13,
+                              std::size_t population_size = 8,
+                              double mutation_rate = 0.2);
+
+    std::string name() const override { return "Adaptive (GA)"; }
+
+    /** Generation counter (for tests). */
+    std::size_t generation() const { return generation_; }
+
+  protected:
+    fl::GlobalParams nextConfig() override;
+    void observeReward(const fl::GlobalParams &config, double reward,
+                       const fl::RoundResult &result) override;
+
+  private:
+    /** Genome: indices into the Table 2 value sets. */
+    struct Genome
+    {
+        std::size_t b = 0, e = 0, k = 0;
+        double fitness = 0.0;
+        bool scored = false;
+    };
+
+    fl::GlobalParams decode(const Genome &g) const;
+    Genome randomGenome();
+    void evolve();
+
+    util::Rng rng_;
+    std::size_t pop_size_;
+    double mutation_rate_;
+    std::vector<Genome> population_;
+    std::size_t cursor_ = 0;       //!< next individual to evaluate
+    std::size_t generation_ = 0;
+};
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_GENETIC_H_

@@ -1,0 +1,41 @@
+#include "optim/global_policy.h"
+
+#include <algorithm>
+
+namespace fedgpo {
+namespace optim {
+
+int
+GlobalConfigPolicy::chooseClients(int max_k)
+{
+    current_ = nextConfig();
+    config_pending_ = true;
+    return std::min(current_.clients, max_k);
+}
+
+std::vector<fl::PerDeviceParams>
+GlobalConfigPolicy::assign(const std::vector<fl::DeviceObservation> &devices,
+                           const nn::LayerCensus &census)
+{
+    (void)census;
+    return std::vector<fl::PerDeviceParams>(
+        devices.size(),
+        fl::PerDeviceParams{current_.batch, current_.epochs});
+}
+
+void
+GlobalConfigPolicy::feedback(const fl::RoundResult &result)
+{
+    energy_norm_.observe(result.energy_total);
+    const double e_global = energy_norm_.normalize(result.energy_total);
+    const double reward = core::fedgpoReward(
+        e_global, 0.0, result.test_accuracy, accuracy_prev_);
+    accuracy_prev_ = result.test_accuracy;
+    if (config_pending_) {
+        observeReward(current_, reward, result);
+        config_pending_ = false;
+    }
+}
+
+} // namespace optim
+} // namespace fedgpo

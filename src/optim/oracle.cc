@@ -1,0 +1,91 @@
+#include "optim/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/action_space.h"
+
+namespace fedgpo {
+namespace optim {
+
+double
+oracleTargetTime(const fl::FlSimulator &sim,
+                 const std::vector<fl::DeviceObservation> &devices,
+                 const fl::PerDeviceParams &baseline)
+{
+    assert(!devices.empty());
+    double fastest = std::numeric_limits<double>::infinity();
+    for (const auto &obs : devices) {
+        fastest = std::min(fastest,
+                           sim.predictedRoundTime(obs.client_id, baseline));
+    }
+    return fastest;
+}
+
+fl::PerDeviceParams
+oracleParamsFor(const fl::FlSimulator &sim, std::size_t client_id,
+                double target_time, double tolerance)
+{
+    assert(target_time > 0.0);
+    // Pass 1: smallest relative gap to the target over the action grid.
+    double min_gap = std::numeric_limits<double>::infinity();
+    std::vector<double> gaps(core::kNumDeviceActions);
+    for (std::size_t a = 0; a < core::kNumDeviceActions; ++a) {
+        const double t = sim.predictedRoundTime(
+            client_id, core::deviceActionParams(a));
+        gaps[a] = std::fabs(t - target_time) / target_time;
+        min_gap = std::min(min_gap, gaps[a]);
+    }
+    // Pass 2: among actions within the tolerance band of the best gap,
+    // pick the one doing the most training (largest E, then B) — the
+    // oracle equalizes finish times without starving learning.
+    const double band = std::max(min_gap, tolerance);
+    fl::PerDeviceParams best = core::deviceActionParams(0);
+    long best_work = -1;
+    for (std::size_t a = 0; a < core::kNumDeviceActions; ++a) {
+        if (gaps[a] > band + 1e-12)
+            continue;
+        const auto params = core::deviceActionParams(a);
+        const long work =
+            static_cast<long>(params.epochs) * 100 + params.batch;
+        if (work > best_work) {
+            best = params;
+            best_work = work;
+        }
+    }
+    return best;
+}
+
+double
+predictionAccuracy(const fl::FlSimulator &sim, const fl::RoundResult &result,
+                   const fl::PerDeviceParams &baseline)
+{
+    if (result.participants.empty())
+        return 1.0;
+    // Rebuild the oracle target from the participants' current states.
+    std::vector<fl::DeviceObservation> devices;
+    for (const auto &p : result.participants) {
+        fl::DeviceObservation obs;
+        obs.client_id = p.client_id;
+        devices.push_back(obs);
+    }
+    const double target = oracleTargetTime(sim, devices, baseline);
+
+    double agreement = 0.0;
+    for (const auto &p : result.participants) {
+        const auto oracle = oracleParamsFor(sim, p.client_id, target);
+        const double t_oracle =
+            sim.predictedRoundTime(p.client_id, oracle);
+        const double t_chosen =
+            sim.predictedRoundTime(p.client_id, p.params);
+        const double err =
+            std::fabs(t_chosen - t_oracle) / std::max(t_oracle, 1e-9);
+        agreement += std::max(0.0, 1.0 - err);
+    }
+    return agreement / static_cast<double>(result.participants.size());
+}
+
+} // namespace optim
+} // namespace fedgpo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The straggler-gap oracle: per-device (B, E) that minimizes the
+ * performance gap across the selected devices, computed from the cost
+ * model with the devices' *current* runtime states.
+ *
+ * This is the reference the paper scores FedGPO's prediction accuracy
+ * against (Table 5: "these parameters are identified in terms of
+ * minimizing the performance gap across the devices"), and the "adaptive
+ * adjustment" used by the motivation figures (Figs. 5-6).
+ */
+
+#ifndef FEDGPO_OPTIM_ORACLE_H_
+#define FEDGPO_OPTIM_ORACLE_H_
+
+#include <vector>
+
+#include "fl/simulator.h"
+
+namespace fedgpo {
+namespace optim {
+
+/**
+ * Target finish time for a round: the predicted time of the *fastest*
+ * tier under the baseline parameters — every other device should shrink
+ * its work to close the gap to that target.
+ */
+double oracleTargetTime(const fl::FlSimulator &sim,
+                        const std::vector<fl::DeviceObservation> &devices,
+                        const fl::PerDeviceParams &baseline);
+
+/**
+ * The Table 2 action closest to the target time for one device, from the
+ * cost model. Ties (several actions within `tolerance` of the target)
+ * break toward the most useful work (largest E, then largest B), so the
+ * oracle never starves training to win the race.
+ */
+fl::PerDeviceParams oracleParamsFor(const fl::FlSimulator &sim,
+                                    std::size_t client_id,
+                                    double target_time,
+                                    double tolerance = 0.15);
+
+/**
+ * Per-round oracle prediction accuracy (Table 5's metric): the mean
+ * absolute percentage agreement between the achieved per-device round
+ * times and the oracle's, 100% when identical.
+ */
+double predictionAccuracy(const fl::FlSimulator &sim,
+                          const fl::RoundResult &result,
+                          const fl::PerDeviceParams &baseline);
+
+} // namespace optim
+} // namespace fedgpo
+
+#endif // FEDGPO_OPTIM_ORACLE_H_

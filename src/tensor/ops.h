@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tensor kernels: GEMM variants and the im2col transforms used by the
+ * convolution layers.
+ *
+ * All GEMMs take 2-d tensors and write into a caller-provided output so
+ * the training loop can reuse buffers. The ikj loop order keeps the inner
+ * loop contiguous in both B and C, which is the main thing that matters on
+ * the single-core host this simulator targets.
+ */
+
+#ifndef FEDGPO_TENSOR_OPS_H_
+#define FEDGPO_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace fedgpo {
+namespace tensor {
+
+/**
+ * C = A * B, with A of shape [m, k] and B of shape [k, n].
+ * C is resized/zeroed to [m, n].
+ */
+void matmul(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * C = A^T * B, with A of shape [k, m] and B of shape [k, n].
+ * C is resized/zeroed to [m, n].
+ */
+void matmulTransA(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * C = A * B^T, with A of shape [m, k] and B of shape [n, k].
+ * C is resized/zeroed to [m, n].
+ */
+void matmulTransB(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * Like matmul but accumulates into C (C += A * B); C must already be
+ * [m, n].
+ */
+void matmulAccum(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * im2col for NCHW batches.
+ *
+ * Expands input of shape [n, c, h, w] into columns of shape
+ * [n * out_h * out_w, c * kh * kw] so convolution becomes one GEMM per
+ * batch. Zero padding `pad` on all sides; stride `stride`.
+ */
+void im2col(const Tensor &input, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, Tensor &columns);
+
+/**
+ * Inverse of im2col: scatter-add columns back into an input-shaped
+ * gradient tensor of shape [n, c, h, w] (must be pre-shaped; it is
+ * zeroed first).
+ */
+void col2im(const Tensor &columns, std::size_t kh, std::size_t kw,
+            std::size_t stride, std::size_t pad, Tensor &input_grad);
+
+/** Output spatial extent of a convolution: (in + 2*pad - k) / stride + 1. */
+std::size_t convOutExtent(std::size_t in, std::size_t k, std::size_t stride,
+                          std::size_t pad);
+
+} // namespace tensor
+} // namespace fedgpo
+
+#endif // FEDGPO_TENSOR_OPS_H_

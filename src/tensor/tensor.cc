@@ -1,0 +1,138 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace tensor {
+
+std::size_t
+shapeNumel(const Shape &shape)
+{
+    std::size_t n = 1;
+    for (auto d : shape)
+        n *= d;
+    return n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), fill)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    if (data_.size() != shapeNumel(shape_)) {
+        util::fatal("Tensor: data size " + std::to_string(data_.size()) +
+                    " does not match shape " + shapeToString(shape_));
+    }
+}
+
+float &
+Tensor::at(std::size_t r, std::size_t c)
+{
+    assert(ndim() == 2);
+    assert(r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::at(std::size_t r, std::size_t c) const
+{
+    assert(ndim() == 2);
+    assert(r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::reshape(Shape shape)
+{
+    if (shapeNumel(shape) != data_.size()) {
+        util::fatal("Tensor::reshape: numel mismatch " +
+                    shapeToString(shape_) + " -> " + shapeToString(shape));
+    }
+    shape_ = std::move(shape);
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float scalar)
+{
+    for (auto &x : data_)
+        x *= scalar;
+    return *this;
+}
+
+void
+Tensor::addScaled(const Tensor &other, float scalar)
+{
+    assert(shape_ == other.shape_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += scalar * other.data_[i];
+}
+
+double
+Tensor::sum() const
+{
+    double total = 0.0;
+    for (float x : data_)
+        total += x;
+    return total;
+}
+
+double
+Tensor::squaredNorm() const
+{
+    double total = 0.0;
+    for (float x : data_)
+        total += static_cast<double>(x) * x;
+    return total;
+}
+
+} // namespace tensor
+} // namespace fedgpo

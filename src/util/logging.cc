@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace fedgpo {
+namespace util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off:   return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level || g_level == LogLevel::Off)
+        return;
+    std::cerr << "[fedgpo:" << levelName(level) << "] " << msg << "\n";
+}
+
+void
+logDebug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+void
+logInfo(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+void
+logWarn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+logError(const std::string &msg)
+{
+    logMessage(LogLevel::Error, msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    logError(msg);
+    throw FatalError(msg);
+}
+
+} // namespace util
+} // namespace fedgpo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal leveled logging for the library.
+ *
+ * Defaults to Warn so library users are not spammed; benches and examples
+ * raise the level explicitly. Follows the gem5 inform/warn/fatal split:
+ * fatal() is for user errors (bad configuration) and throws, so callers and
+ * tests can observe it; internal invariant violations use assert.
+ */
+
+#ifndef FEDGPO_UTIL_LOGGING_H_
+#define FEDGPO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedgpo {
+namespace util {
+
+/** Log severity levels, ordered by verbosity. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emit a message at the given level to stderr (if enabled). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Convenience wrappers. */
+void logDebug(const std::string &msg);
+void logInfo(const std::string &msg);
+void logWarn(const std::string &msg);
+void logError(const std::string &msg);
+
+/**
+ * Error thrown for unrecoverable user-facing misconfiguration
+ * (gem5's fatal()).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Report a user error: log it and throw FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace util
+} // namespace fedgpo
+
+#endif // FEDGPO_UTIL_LOGGING_H_

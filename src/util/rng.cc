@@ -1,0 +1,208 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedgpo {
+namespace util {
+
+namespace {
+
+/** SplitMix64 step; used to expand seeds into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : cached_gaussian_(0.0), has_cached_gaussian_(false)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+Rng
+Rng::split(std::uint64_t tag)
+{
+    // Mix the tag with fresh output so that children with different tags
+    // (and children of sequential splits) are decorrelated.
+    std::uint64_t seed = next() ^ (tag * 0xd1342543de82ef95ULL + 1);
+    return Rng(seed);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    assert(lo <= hi);
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    assert(n > 0);
+    return static_cast<std::size_t>(next() % n);
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gamma(double shape)
+{
+    if (shape <= 0.0)
+        throw std::invalid_argument("gamma shape must be positive");
+    if (shape < 1.0) {
+        // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+        double u = 0.0;
+        while (u <= 1e-300)
+            u = uniform();
+        return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x = gaussian();
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 1e-300 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+std::vector<double>
+Rng::dirichlet(double alpha, std::size_t k)
+{
+    std::vector<double> out(k);
+    double total = 0.0;
+    for (auto &x : out) {
+        x = gamma(alpha);
+        total += x;
+    }
+    if (total <= 0.0) {
+        // Numerically degenerate draw (tiny alpha): put all mass on one
+        // uniformly chosen class, the correct limit of Dirichlet(alpha->0).
+        std::fill(out.begin(), out.end(), 0.0);
+        out[index(k)] = 1.0;
+        return out;
+    }
+    for (auto &x : out)
+        x /= total;
+    return out;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0)
+        throw std::invalid_argument("categorical needs positive total mass");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::sampleWithoutReplacement(std::size_t n, std::size_t pool)
+{
+    assert(n <= pool);
+    std::vector<std::size_t> all(pool);
+    for (std::size_t i = 0; i < pool; ++i)
+        all[i] = i;
+    // Partial Fisher-Yates: only the first n positions need shuffling.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t j = i + index(pool - i);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(n);
+    return all;
+}
+
+} // namespace util
+} // namespace fedgpo

@@ -1,0 +1,108 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace fedgpo {
+namespace util {
+
+std::string
+fmt(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+fmtX(double value, int decimals)
+{
+    return fmt(value, decimals) + "x";
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    return fmt(fraction * 100.0, decimals) + "%";
+}
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    if (!title.empty())
+        os << title << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: cannot write CSV to " << path << "\n";
+        return false;
+    }
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ",";
+            // Quote cells containing separators.
+            if (row[c].find_first_of(",\"\n") != std::string::npos) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+        }
+        out << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return true;
+}
+
+} // namespace util
+} // namespace fedgpo

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Console table and CSV emission for bench/example output.
+ *
+ * Every bench binary prints a human-readable aligned table (the "paper
+ * row/series" view) and can mirror the same rows into a CSV file for
+ * plotting. Cells are strings; helpers format numbers consistently.
+ */
+
+#ifndef FEDGPO_UTIL_TABLE_H_
+#define FEDGPO_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fedgpo {
+namespace util {
+
+/** Format a double with the given number of decimals (fixed notation). */
+std::string fmt(double value, int decimals = 3);
+
+/** Format a ratio as e.g. "3.6x". */
+std::string fmtX(double value, int decimals = 1);
+
+/** Format a fraction as a percentage, e.g. "94.7%". */
+std::string fmtPct(double fraction, int decimals = 1);
+
+/**
+ * Simple column-aligned table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"B", "E", "K", "PPW"});
+ *   t.addRow({"8", "10", "20", fmt(1.0)});
+ *   t.print(std::cout);
+ *   t.writeCsv("fig01.csv");
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Print the aligned table, with an optional title line. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /**
+     * Write header + rows as CSV. Returns false (and logs) when the file
+     * cannot be opened; bench output on stdout is still complete.
+     */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace fedgpo
+
+#endif // FEDGPO_UTIL_TABLE_H_

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for FedGPO's core machinery: the Table 2 action space, the
+ * Table 1 state discretization, the Q-table (Algorithm 2), and the
+ * Eq. 1 reward.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/action_space.h"
+#include "core/qtable.h"
+#include "core/reward.h"
+#include "core/state.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace core {
+namespace {
+
+TEST(ActionSpace, Table2Sizes)
+{
+    EXPECT_EQ(kBatchSet.size(), 6u);
+    EXPECT_EQ(kEpochSet.size(), 5u);
+    EXPECT_EQ(kClientSet.size(), 5u);
+    EXPECT_EQ(kNumDeviceActions, 30u);
+    EXPECT_EQ(kNumClientActions, 5u);
+}
+
+TEST(ActionSpace, DeviceActionRoundTrip)
+{
+    for (std::size_t a = 0; a < kNumDeviceActions; ++a) {
+        auto params = deviceActionParams(a);
+        EXPECT_EQ(deviceActionIndex(params), a);
+    }
+}
+
+TEST(ActionSpace, DeviceActionValuesAreInTable2)
+{
+    std::set<int> bs(kBatchSet.begin(), kBatchSet.end());
+    std::set<int> es(kEpochSet.begin(), kEpochSet.end());
+    for (std::size_t a = 0; a < kNumDeviceActions; ++a) {
+        auto p = deviceActionParams(a);
+        EXPECT_TRUE(bs.count(p.batch));
+        EXPECT_TRUE(es.count(p.epochs));
+    }
+}
+
+TEST(ActionSpace, DeviceActionIndexRejectsOffGrid)
+{
+    EXPECT_THROW(deviceActionIndex(fl::PerDeviceParams{3, 10}),
+                 util::FatalError);
+    EXPECT_THROW(deviceActionIndex(fl::PerDeviceParams{8, 7}),
+                 util::FatalError);
+}
+
+TEST(ActionSpace, ClientActionRoundTrip)
+{
+    for (std::size_t a = 0; a < kNumClientActions; ++a)
+        EXPECT_EQ(clientActionIndex(clientActionValue(a)), a);
+    EXPECT_THROW(clientActionIndex(7), util::FatalError);
+}
+
+TEST(ActionSpace, FullGridHas150DistinctPoints)
+{
+    auto all = allGlobalParams();
+    EXPECT_EQ(all.size(), 150u);
+    std::set<std::string> unique;
+    for (const auto &p : all)
+        unique.insert(p.toString());
+    EXPECT_EQ(unique.size(), 150u);
+}
+
+TEST(State, ConvBucketsPerTable1)
+{
+    EXPECT_EQ(bucketConv(0), 0u);
+    EXPECT_EQ(bucketConv(9), 0u);
+    EXPECT_EQ(bucketConv(10), 1u);
+    EXPECT_EQ(bucketConv(19), 1u);
+    EXPECT_EQ(bucketConv(20), 2u);
+    EXPECT_EQ(bucketConv(29), 2u);
+    EXPECT_EQ(bucketConv(30), 3u);
+    EXPECT_EQ(bucketConv(100), 3u);
+}
+
+TEST(State, FcBucketsPerTable1)
+{
+    EXPECT_EQ(bucketFc(0), 0u);
+    EXPECT_EQ(bucketFc(9), 0u);
+    EXPECT_EQ(bucketFc(10), 1u);
+}
+
+TEST(State, RcBucketsPerTable1)
+{
+    EXPECT_EQ(bucketRc(0), 0u);
+    EXPECT_EQ(bucketRc(4), 0u);
+    EXPECT_EQ(bucketRc(5), 1u);
+    EXPECT_EQ(bucketRc(9), 1u);
+    EXPECT_EQ(bucketRc(10), 2u);
+}
+
+TEST(State, CoUsageBucketsPerTable1)
+{
+    EXPECT_EQ(bucketCoUsage(0.0), 0u);
+    EXPECT_EQ(bucketCoUsage(0.1), 1u);
+    EXPECT_EQ(bucketCoUsage(0.249), 1u);
+    EXPECT_EQ(bucketCoUsage(0.25), 2u);
+    EXPECT_EQ(bucketCoUsage(0.74), 2u);
+    EXPECT_EQ(bucketCoUsage(0.75), 3u);
+    EXPECT_EQ(bucketCoUsage(1.0), 3u);
+}
+
+TEST(State, NetworkBucketAt40Mbps)
+{
+    EXPECT_EQ(bucketNetwork(80.0), 0u);
+    EXPECT_EQ(bucketNetwork(40.1), 0u);
+    EXPECT_EQ(bucketNetwork(40.0), 1u);
+    EXPECT_EQ(bucketNetwork(5.0), 1u);
+}
+
+TEST(State, DataBucketsPerTable1)
+{
+    EXPECT_EQ(bucketData(1, 10), 0u);   // 10% < 25% -> small
+    EXPECT_EQ(bucketData(2, 10), 0u);   // 20% < 25% -> small
+    EXPECT_EQ(bucketData(3, 10), 1u);   // 30% -> medium
+    EXPECT_EQ(bucketData(5, 10), 1u);
+    EXPECT_EQ(bucketData(9, 10), 1u);
+    EXPECT_EQ(bucketData(10, 10), 2u);
+}
+
+TEST(State, IndexIsBijectiveOverAllBuckets)
+{
+    std::set<std::size_t> seen;
+    for (std::size_t conv = 0; conv < kConvLevels; ++conv)
+        for (std::size_t fc = 0; fc < kFcLevels; ++fc)
+            for (std::size_t rc = 0; rc < kRcLevels; ++rc)
+                for (std::size_t cpu = 0; cpu < kCoCpuLevels; ++cpu)
+                    for (std::size_t mem = 0; mem < kCoMemLevels; ++mem)
+                        for (std::size_t net = 0; net < kNetworkLevels;
+                             ++net)
+                            for (std::size_t d = 0; d < kDataLevels; ++d) {
+                                StateKey key{conv, fc, rc, cpu,
+                                             mem, net, d};
+                                const std::size_t idx = key.index();
+                                EXPECT_LT(idx, kNumStates);
+                                seen.insert(idx);
+                            }
+    EXPECT_EQ(seen.size(), kNumStates);
+}
+
+TEST(State, EncodeStateWiresObservationFields)
+{
+    nn::LayerCensus census;
+    census.conv = 12;
+    census.dense = 2;
+    census.recurrent = 0;
+    fl::DeviceObservation obs;
+    obs.interference.co_cpu = 0.8;
+    obs.interference.co_mem = 0.1;
+    obs.network.bandwidth_mbps = 20.0;
+    obs.data_classes = 10;
+    obs.total_classes = 10;
+    StateKey key = encodeState(census, obs);
+    EXPECT_EQ(key.conv, 1u);
+    EXPECT_EQ(key.fc, 0u);
+    EXPECT_EQ(key.rc, 0u);
+    EXPECT_EQ(key.co_cpu, 3u);
+    EXPECT_EQ(key.co_mem, 1u);
+    EXPECT_EQ(key.network, 1u);
+    EXPECT_EQ(key.data, 2u);
+}
+
+TEST(State, GlobalStateWithinRange)
+{
+    nn::LayerCensus census;
+    census.conv = 2;
+    census.dense = 2;
+    for (std::size_t d = 0; d < kDataLevels; ++d)
+        EXPECT_LT(encodeGlobalState(census, d), kNumGlobalStates);
+}
+
+TEST(QTable, RandomInitWithinSpan)
+{
+    util::Rng rng(1);
+    QTable table(10, 4, rng, -0.5, 0.5);
+    for (std::size_t s = 0; s < 10; ++s)
+        for (std::size_t a = 0; a < 4; ++a) {
+            EXPECT_GE(table.q(s, a), -0.5);
+            EXPECT_LE(table.q(s, a), 0.5);
+        }
+}
+
+TEST(QTable, BestActionFindsMax)
+{
+    util::Rng rng(2);
+    QTable table(3, 5, rng, -0.001, 0.001);
+    table.update(1, 3, 100.0, 1, 1.0, 0.0);  // drive one cell up
+    EXPECT_EQ(table.bestAction(1), 3u);
+    EXPECT_NEAR(table.maxQ(1), table.q(1, 3), 1e-12);
+}
+
+TEST(QTable, UpdateImplementsAlgorithm2)
+{
+    util::Rng rng(3);
+    QTable table(2, 2, rng, 0.0, 0.0);  // all-zero init
+    // Q(0,0) += gamma * (r + mu * maxQ(1) - Q(0,0))
+    table.update(1, 0, 10.0, 1, 1.0, 0.0);  // Q(1,0) = 10
+    table.update(0, 0, 5.0, 1, 0.5, 0.1);
+    // target = 5 + 0.1*10 = 6; delta = 0.5*(6-0) = 3.
+    EXPECT_NEAR(table.q(0, 0), 3.0, 1e-12);
+    EXPECT_EQ(table.updates(), 2u);
+}
+
+TEST(QTable, RepeatedUpdatesConvergeToReward)
+{
+    util::Rng rng(4);
+    QTable table(1, 1, rng, -0.01, 0.01);
+    for (int i = 0; i < 200; ++i)
+        table.update(0, 0, 7.0, 0, 0.9, 0.0);
+    EXPECT_NEAR(table.q(0, 0), 7.0, 1e-6);
+    EXPECT_LT(table.recentMaxDelta(), 1e-5);
+}
+
+TEST(QTable, BytesMatchesDimensions)
+{
+    util::Rng rng(5);
+    QTable table(100, 30, rng);
+    EXPECT_EQ(table.bytes(),
+              100u * 30u * (sizeof(double) + sizeof(std::uint32_t)));
+}
+
+TEST(Reward, PenaltyBranchWhenAccuracyStalls)
+{
+    // acc <= prev -> R = acc% - 100 minus the stall energy tie-break.
+    RewardConfig cfg;
+    const double r = fedgpoReward(0.5, 0.5, 0.80, 0.80);
+    EXPECT_NEAR(r,
+                -20.0 - cfg.stall_energy_factor * cfg.energy_weight * 1.0,
+                1e-12);
+    EXPECT_LT(fedgpoReward(0.0, 0.0, 0.30, 0.50), -69.9);
+}
+
+TEST(Reward, StallBranchStillPrefersCheaperActions)
+{
+    EXPECT_GT(fedgpoReward(0.2, 0.1, 0.80, 0.80),
+              fedgpoReward(0.9, 0.9, 0.80, 0.80));
+}
+
+TEST(Reward, ImprovementBranchTradesEnergyAndAccuracy)
+{
+    RewardConfig cfg;
+    const double r = fedgpoReward(0.4, 0.2, 0.85, 0.84, 1.0, cfg);
+    const double expected = -cfg.energy_weight * 0.6 + cfg.alpha * 85.0 +
+                            cfg.beta * 1.0;
+    EXPECT_NEAR(r, expected, 1e-9);
+}
+
+TEST(Reward, ImprovementTermIsCapped)
+{
+    RewardConfig cfg;
+    // A 5-point jump is capped at delta_cap points of credit.
+    const double big = fedgpoReward(0.0, 0.0, 0.85, 0.80, 1.0, cfg);
+    const double capped = fedgpoReward(0.0, 0.0,
+                                       0.80 + cfg.delta_cap / 100.0, 0.80,
+                                       1.0, cfg);
+    EXPECT_NEAR(big, capped + cfg.alpha * (85.0 - 80.0 - cfg.delta_cap),
+                1e-9);
+}
+
+TEST(Reward, ImprovementShareScalesCredit)
+{
+    RewardConfig cfg;
+    const double full = fedgpoReward(0.4, 0.2, 0.85, 0.84, 1.0, cfg);
+    const double half = fedgpoReward(0.4, 0.2, 0.85, 0.84, 0.5, cfg);
+    EXPECT_NEAR(full - half, 0.5 * cfg.beta * 1.0, 1e-9);
+}
+
+TEST(Reward, MeaningfulImprovementBeatsStallAtEqualEnergy)
+{
+    // A capped-scale improvement outscores a stalled round with the same
+    // energy profile. (At vanishing improvement the stall branch's
+    // discounted energy term can win — by design, the discount keeps the
+    // plateau regime pushing toward cheap actions.)
+    RewardConfig cfg;
+    const double improving =
+        fedgpoReward(0.5, 0.5, 0.90, 0.90 - cfg.delta_cap / 100.0);
+    const double stalled = fedgpoReward(0.5, 0.5, 0.90, 0.90);
+    EXPECT_GT(improving, stalled);
+}
+
+TEST(Reward, LessEnergyIsStrictlyBetter)
+{
+    EXPECT_GT(fedgpoReward(0.1, 0.1, 0.85, 0.84),
+              fedgpoReward(0.9, 0.9, 0.85, 0.84));
+}
+
+TEST(Reward, EnergyNormalizerTracksMax)
+{
+    EnergyNormalizer norm;
+    EXPECT_DOUBLE_EQ(norm.normalize(5.0), 1.0);  // no data yet
+    norm.observe(100.0);
+    EXPECT_DOUBLE_EQ(norm.normalize(50.0), 0.5);
+    norm.observe(200.0);
+    EXPECT_DOUBLE_EQ(norm.normalize(50.0), 0.25);
+    // Clamped above so one freak round cannot explode the reward.
+    EXPECT_DOUBLE_EQ(norm.normalize(1000.0), 2.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace fedgpo

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the network model (Eq. 3) and the per-round cost model —
+ * including the properties the paper's motivation figures rest on:
+ * H > M > L throughput ordering (Fig. 3), interference and network
+ * degradation (Fig. 4), and memory pressure for RC-heavy workloads at
+ * large batch sizes (Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/cost_model.h"
+#include "device/network_model.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace device {
+namespace {
+
+LocalWorkSpec
+defaultWork(int batch = 8, int epochs = 10)
+{
+    LocalWorkSpec work;
+    work.train_flops_per_sample = 600000;
+    work.samples = 30;
+    work.batch = batch;
+    work.epochs = epochs;
+    work.param_bytes = 40000;
+    return work;
+}
+
+TEST(NetworkModel, StableBandwidthInRange)
+{
+    NetworkModel net(false);
+    util::Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        auto s = net.sample(rng);
+        EXPECT_GE(s.bandwidth_mbps, 3.0);
+        EXPECT_LE(s.bandwidth_mbps, 150.0);
+        EXPECT_GT(s.signal, 0.0);
+        EXPECT_LE(s.signal, 1.0);
+    }
+}
+
+TEST(NetworkModel, UnstableHasLowerMeanAndMoreBadRounds)
+{
+    NetworkModel stable(false), unstable(true);
+    util::Rng r1(2), r2(2);
+    double sum_s = 0.0, sum_u = 0.0;
+    int bad_s = 0, bad_u = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        auto a = stable.sample(r1);
+        auto b = unstable.sample(r2);
+        sum_s += a.bandwidth_mbps;
+        sum_u += b.bandwidth_mbps;
+        bad_s += a.bandwidth_mbps <= kBadNetworkMbps;
+        bad_u += b.bandwidth_mbps <= kBadNetworkMbps;
+    }
+    EXPECT_GT(sum_s / n, sum_u / n);
+    EXPECT_LT(bad_s, bad_u);
+    EXPECT_GT(bad_u, n / 5);
+}
+
+TEST(NetworkModel, TxPowerRisesExponentiallyAtWeakSignal)
+{
+    const double strong = NetworkModel::txPower(1.0);
+    const double mid = NetworkModel::txPower(0.5);
+    const double weak = NetworkModel::txPower(0.1);
+    EXPECT_GT(mid, strong);
+    EXPECT_GT(weak, mid);
+    // Exponential shape: equal signal decrements multiply power by a
+    // constant factor.
+    const double ratio1 = mid / strong;
+    const double ratio2 = NetworkModel::txPower(0.0 + 1e-9) /
+                          NetworkModel::txPower(0.5 + 1e-9);
+    EXPECT_NEAR(ratio1, ratio2, 0.05);
+}
+
+TEST(NetworkModel, TxTimeInverseInBandwidth)
+{
+    const double t1 = NetworkModel::txTime(1e6, 10.0);
+    const double t2 = NetworkModel::txTime(1e6, 20.0);
+    EXPECT_NEAR(t1, 2.0 * t2, 1e-9);
+    EXPECT_DOUBLE_EQ(NetworkModel::txTime(0.0, 10.0), 0.0);
+}
+
+TEST(CostModel, TierOrderingMatchesFig3)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    NetworkState net;
+    auto work = defaultWork();
+    const double th =
+        clientRoundCost(profileFor(Category::High), cost, work, calm, net)
+            .t_comp;
+    const double tm =
+        clientRoundCost(profileFor(Category::Mid), cost, work, calm, net)
+            .t_comp;
+    const double tl =
+        clientRoundCost(profileFor(Category::Low), cost, work, calm, net)
+            .t_comp;
+    EXPECT_LT(th, tm);
+    EXPECT_LT(tm, tl);
+    // The paper's Fig. 3 shows roughly a 2-4x H-to-L gap.
+    EXPECT_GT(tl / th, 1.8);
+    EXPECT_LT(tl / th, 6.0);
+}
+
+TEST(CostModel, TimeLinearInEpochs)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    NetworkState net;
+    const double t5 = clientRoundCost(profileFor(Category::Mid), cost,
+                                      defaultWork(8, 5), calm, net)
+                          .t_comp;
+    const double t20 = clientRoundCost(profileFor(Category::Mid), cost,
+                                       defaultWork(8, 20), calm, net)
+                           .t_comp;
+    EXPECT_NEAR(t20 / t5, 4.0, 1e-6);
+}
+
+TEST(CostModel, SmallBatchUnderutilizesHardware)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    const double f1 = effectiveFlops(profileFor(Category::High), cost, 1,
+                                     40000, calm);
+    const double f8 = effectiveFlops(profileFor(Category::High), cost, 8,
+                                     40000, calm);
+    EXPECT_GT(f8, 1.5 * f1);
+}
+
+TEST(CostModel, InterferenceSlowsCompute)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    InterferenceState busy;
+    busy.co_cpu = 0.8;
+    busy.co_mem = 0.5;
+    const double calm_f =
+        effectiveFlops(profileFor(Category::Low), cost, 8, 40000, calm);
+    const double busy_f =
+        effectiveFlops(profileFor(Category::Low), cost, 8, 40000, busy);
+    EXPECT_LT(busy_f, 0.7 * calm_f);
+}
+
+TEST(CostModel, MemoryPressureHurtsLstmOnLowTierAtLargeB)
+{
+    // Fig. 2's claim: the RC-heavy workload prefers small batches because
+    // of memory pressure, most visibly on the 2 GB tier.
+    const auto &lstm = costFor(models::Workload::LstmShakespeare);
+    InterferenceState calm;
+    const double f8 = effectiveFlops(profileFor(Category::Low), lstm, 8,
+                                     65000, calm);
+    const double f32 = effectiveFlops(profileFor(Category::Low), lstm, 32,
+                                      65000, calm);
+    // Per-FLOP throughput at B=32 must NOT show the full batch-efficiency
+    // gain; memory pressure eats it.
+    const double batch_gain = (32.0 / 35.0) / (8.0 / 11.0);
+    EXPECT_LT(f32 / f8, batch_gain);
+}
+
+TEST(CostModel, CommTimeTracksBandwidth)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    NetworkState fast{100.0, 1.0};
+    NetworkState slow{10.0, 0.1};
+    auto work = defaultWork();
+    const auto cf = clientRoundCost(profileFor(Category::Mid), cost, work,
+                                    calm, fast);
+    const auto cs = clientRoundCost(profileFor(Category::Mid), cost, work,
+                                    calm, slow);
+    EXPECT_NEAR(cs.t_comm / cf.t_comm, 10.0, 1e-6);
+    EXPECT_GT(cs.e_comm / cf.e_comm, 10.0)
+        << "weak signal costs more than the airtime ratio alone";
+}
+
+TEST(CostModel, EnergyComponentsSum)
+{
+    const auto &cost = costFor(models::Workload::MobileNetImageNet);
+    InterferenceState calm;
+    NetworkState net;
+    auto c = clientRoundCost(profileFor(Category::High), cost,
+                             defaultWork(), calm, net);
+    EXPECT_DOUBLE_EQ(c.e_total, c.e_comp + c.e_comm);
+    EXPECT_DOUBLE_EQ(c.t_round, c.t_comp + c.t_comm);
+    EXPECT_GT(c.e_comp, 0.0);
+    EXPECT_GT(c.e_comm, 0.0);
+}
+
+TEST(CostModel, WorkloadCostsDistinct)
+{
+    const auto &cnn = costFor(models::Workload::CnnMnist);
+    const auto &lstm = costFor(models::Workload::LstmShakespeare);
+    EXPECT_GT(lstm.mem_intensity, cnn.mem_intensity)
+        << "RC layers are the memory-intensive ones (paper Section 2.1)";
+}
+
+/** Property sweep: costs are positive and finite over the whole grid. */
+class CostGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, Category>>
+{
+};
+
+TEST_P(CostGridTest, PositiveFiniteCosts)
+{
+    const auto [batch, epochs, category] = GetParam();
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    NetworkState net;
+    auto c = clientRoundCost(profileFor(category), cost,
+                             defaultWork(batch, epochs), calm, net);
+    EXPECT_GT(c.t_comp, 0.0);
+    EXPECT_TRUE(std::isfinite(c.t_comp));
+    EXPECT_GT(c.e_total, 0.0);
+    EXPECT_TRUE(std::isfinite(c.e_total));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, CostGridTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 32),
+                       ::testing::Values(1, 5, 10, 15, 20),
+                       ::testing::Values(Category::High, Category::Mid,
+                                         Category::Low)));
+
+} // namespace
+} // namespace device
+} // namespace fedgpo

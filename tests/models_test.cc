@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the workload model zoo: geometry, layer census (the NN
+ * component of FedGPO's state), FLOP ordering, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/zoo.h"
+
+namespace fedgpo {
+namespace models {
+namespace {
+
+TEST(Zoo, Names)
+{
+    EXPECT_EQ(workloadName(Workload::CnnMnist), "CNN-MNIST");
+    EXPECT_EQ(workloadName(Workload::LstmShakespeare), "LSTM-Shakespeare");
+    EXPECT_EQ(workloadName(Workload::MobileNetImageNet),
+              "MobileNet-ImageNet");
+}
+
+TEST(Zoo, CensusPerWorkload)
+{
+    auto cnn = buildModel(Workload::CnnMnist, 1);
+    EXPECT_EQ(cnn->census().conv, 2u);
+    EXPECT_EQ(cnn->census().dense, 2u);
+    EXPECT_EQ(cnn->census().recurrent, 0u);
+
+    auto lstm = buildModel(Workload::LstmShakespeare, 1);
+    EXPECT_EQ(lstm->census().conv, 0u);
+    EXPECT_EQ(lstm->census().dense, 1u);
+    EXPECT_EQ(lstm->census().recurrent, 1u);
+
+    auto mobilenet = buildModel(Workload::MobileNetImageNet, 1);
+    EXPECT_EQ(mobilenet->census().conv, 5u);  // 3 std + 2 depthwise
+    EXPECT_EQ(mobilenet->census().dense, 1u);
+    EXPECT_EQ(mobilenet->census().recurrent, 0u);
+}
+
+TEST(Zoo, SameSeedSameWeights)
+{
+    auto a = buildModel(Workload::CnnMnist, 42);
+    auto b = buildModel(Workload::CnnMnist, 42);
+    EXPECT_EQ(a->saveParams(), b->saveParams());
+    auto c = buildModel(Workload::CnnMnist, 43);
+    EXPECT_NE(a->saveParams(), c->saveParams());
+}
+
+TEST(Zoo, ForwardShapesMatchDatasets)
+{
+    for (auto w : kAllWorkloads) {
+        util::Rng rng(2);
+        data::Dataset ds = [&]() {
+            switch (w) {
+              case Workload::CnnMnist:
+                return data::makeSyntheticMnist(8, rng);
+              case Workload::LstmShakespeare:
+                return data::makeSyntheticShakespeare(8, rng);
+              default:
+                return data::makeSyntheticImageNet(8, rng);
+            }
+        }();
+        EXPECT_EQ(ds.sampleShape(), sampleShape(w))
+            << workloadName(w);
+        EXPECT_EQ(ds.numClasses(), numClasses(w)) << workloadName(w);
+
+        auto model = buildModel(w, 3);
+        tensor::Tensor batch;
+        std::vector<int> labels;
+        ds.gather({0, 1, 2}, batch, labels);
+        const auto &logits = model->forward(batch);
+        ASSERT_EQ(logits.ndim(), 2u);
+        EXPECT_EQ(logits.dim(0), 3u);
+        EXPECT_EQ(logits.dim(1), numClasses(w));
+    }
+}
+
+TEST(Zoo, FlopsPositiveAndDistinct)
+{
+    auto cnn = buildModel(Workload::CnnMnist, 1);
+    auto lstm = buildModel(Workload::LstmShakespeare, 1);
+    auto mobilenet = buildModel(Workload::MobileNetImageNet, 1);
+    EXPECT_GT(cnn->forwardFlopsPerSample(), 0u);
+    EXPECT_GT(lstm->forwardFlopsPerSample(), 0u);
+    EXPECT_GT(mobilenet->forwardFlopsPerSample(), 0u);
+}
+
+TEST(Zoo, LearningRatesPositive)
+{
+    for (auto w : kAllWorkloads)
+        EXPECT_GT(defaultLearningRate(w), 0.0);
+}
+
+TEST(Zoo, LstmGeometryConstants)
+{
+    EXPECT_EQ(lstmSeqLen(), 16u);
+    EXPECT_EQ(lstmVocab(), 28u);
+    EXPECT_EQ(numClasses(Workload::LstmShakespeare), lstmVocab());
+}
+
+} // namespace
+} // namespace models
+} // namespace fedgpo

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Finite-difference gradient checks for every trainable layer and the
+ * loss head. These are the ground-truth tests of the NN library: if the
+ * analytic backward pass matches numeric differentiation of the forward
+ * pass, FedAvg's learning dynamics upstream can be trusted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/depthwise_conv2d.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/model.h"
+#include "nn/pool2d.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+/** Fill a tensor with small random values. */
+void
+randomize(Tensor &t, util::Rng &rng, double span = 0.5)
+{
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-span, span));
+}
+
+/**
+ * Scalar loss used for the checks: weighted sum of the layer output,
+ * with fixed quasi-random weights so every output element matters.
+ */
+double
+probeLoss(const Tensor &out)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+        const double w = std::sin(0.7 * static_cast<double>(i) + 0.3);
+        total += w * out[i];
+    }
+    return total;
+}
+
+Tensor
+probeGrad(const Tensor &out)
+{
+    Tensor g(out.shape());
+    for (std::size_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(std::sin(0.7 * static_cast<double>(i) +
+                                           0.3));
+    return g;
+}
+
+/**
+ * Check d(probeLoss)/d(input) and d(probeLoss)/d(params) of a layer
+ * against central finite differences.
+ */
+void
+checkLayer(Layer &layer, Tensor input, double tol = 2e-2)
+{
+    const double eps = 1e-2;  // float32 forward => coarse but stable steps
+
+    // Analytic gradients.
+    layer.zeroGrad();
+    const Tensor &out = layer.forward(input, true);
+    Tensor dy = probeGrad(out);
+    const Tensor &din_ref = layer.backward(dy);
+    Tensor din = din_ref;  // copy before buffers get reused
+    std::vector<Tensor> dparams;
+    for (Tensor *g : layer.grads())
+        dparams.push_back(*g);
+
+    // Numeric input gradient (probe a deterministic subset for speed).
+    for (std::size_t i = 0; i < input.numel();
+         i += std::max<std::size_t>(1, input.numel() / 24)) {
+        const float saved = input[i];
+        input[i] = saved + static_cast<float>(eps);
+        const double up = probeLoss(layer.forward(input, true));
+        input[i] = saved - static_cast<float>(eps);
+        const double down = probeLoss(layer.forward(input, true));
+        input[i] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(din[i], numeric, tol)
+            << "input grad mismatch at flat index " << i;
+    }
+
+    // Numeric parameter gradients.
+    auto params = layer.params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        Tensor &w = *params[p];
+        for (std::size_t i = 0; i < w.numel();
+             i += std::max<std::size_t>(1, w.numel() / 24)) {
+            const float saved = w[i];
+            w[i] = saved + static_cast<float>(eps);
+            const double up = probeLoss(layer.forward(input, true));
+            w[i] = saved - static_cast<float>(eps);
+            const double down = probeLoss(layer.forward(input, true));
+            w[i] = saved;
+            const double numeric = (up - down) / (2.0 * eps);
+            EXPECT_NEAR(dparams[p][i], numeric, tol)
+                << "param " << p << " grad mismatch at flat index " << i;
+        }
+    }
+}
+
+TEST(GradCheck, Dense)
+{
+    util::Rng rng(1);
+    Dense layer(7, 5, rng);
+    Tensor x({3, 7});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, Conv2D)
+{
+    util::Rng rng(2);
+    Conv2D layer(2, 3, 3, 6, 6, 1, 1, rng);
+    Tensor x({2, 2, 6, 6});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, Conv2DStride2NoPad)
+{
+    util::Rng rng(3);
+    Conv2D layer(1, 2, 3, 7, 7, 2, 0, rng);
+    Tensor x({2, 1, 7, 7});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, Conv2DPointwise)
+{
+    util::Rng rng(4);
+    Conv2D layer(4, 6, 1, 5, 5, 1, 0, rng);
+    Tensor x({2, 4, 5, 5});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, DepthwiseConv2D)
+{
+    util::Rng rng(5);
+    DepthwiseConv2D layer(3, 3, 6, 6, 1, 1, rng);
+    Tensor x({2, 3, 6, 6});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, DepthwiseConv2DStride2)
+{
+    util::Rng rng(6);
+    DepthwiseConv2D layer(2, 3, 8, 8, 2, 1, rng);
+    Tensor x({2, 2, 8, 8});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, ReLU)
+{
+    util::Rng rng(7);
+    ReLU layer;
+    Tensor x({4, 9});
+    // Keep activations away from the kink where finite differences lie.
+    randomize(x, rng, 1.0);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        if (std::fabs(x[i]) < 0.05f)
+            x[i] = 0.2f;
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, Tanh)
+{
+    util::Rng rng(8);
+    Tanh layer;
+    Tensor x({3, 6});
+    randomize(x, rng, 1.0);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, MaxPool)
+{
+    util::Rng rng(9);
+    MaxPool2D layer(2, 2, 6, 6);
+    Tensor x({2, 2, 6, 6});
+    randomize(x, rng, 1.0);
+    // Separate elements so the argmax is stable under the probe step.
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] += 0.1f * static_cast<float>(i % 7);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, Flatten)
+{
+    util::Rng rng(10);
+    Flatten layer;
+    Tensor x({2, 3, 2, 2});
+    randomize(x, rng);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, LSTM)
+{
+    util::Rng rng(11);
+    LSTM layer(4, 5, 3, rng);
+    Tensor x({2, 3, 4});
+    randomize(x, rng, 0.8);
+    checkLayer(layer, x, 3e-2);
+}
+
+TEST(GradCheck, LSTMSingleStep)
+{
+    util::Rng rng(12);
+    LSTM layer(3, 4, 1, rng);
+    Tensor x({2, 1, 3});
+    randomize(x, rng, 0.8);
+    checkLayer(layer, x);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyMatchesNumeric)
+{
+    util::Rng rng(13);
+    Tensor logits({4, 6});
+    randomize(logits, rng, 1.0);
+    std::vector<int> labels = {0, 3, 5, 2};
+
+    SoftmaxCrossEntropy loss;
+    loss.forward(logits, labels);
+    Tensor grad = loss.backward();
+
+    const double eps = 1e-3;
+    for (std::size_t i = 0; i < logits.numel(); i += 3) {
+        const float saved = logits[i];
+        logits[i] = saved + static_cast<float>(eps);
+        const double up = loss.forward(logits, labels);
+        logits[i] = saved - static_cast<float>(eps);
+        const double down = loss.forward(logits, labels);
+        logits[i] = saved;
+        EXPECT_NEAR(grad[i], (up - down) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(GradCheck, FullModelChain)
+{
+    // A miniature conv->pool->dense stack checked end-to-end through
+    // Model::trainStep's backward chain, via loss differences.
+    util::Rng rng(14);
+    Model model;
+    model.add(std::make_unique<Conv2D>(1, 2, 3, 6, 6, 1, 1, rng));
+    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<MaxPool2D>(2, 2, 6, 6));
+    model.add(std::make_unique<Flatten>());
+    model.add(std::make_unique<Dense>(2 * 3 * 3, 4, rng));
+
+    Tensor x({3, 1, 6, 6});
+    randomize(x, rng, 1.0);
+    std::vector<int> labels = {1, 0, 3};
+
+    model.zeroGrad();
+    model.trainStep(x, labels);
+    auto params = model.params();
+    auto grads = model.grads();
+
+    const double eps = 5e-3;
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        Tensor &w = *params[p];
+        Tensor &g = *grads[p];
+        for (std::size_t i = 0; i < w.numel();
+             i += std::max<std::size_t>(1, w.numel() / 8)) {
+            const float saved = w[i];
+            w[i] = saved + static_cast<float>(eps);
+            const double up = model.loss().forward(model.forward(x), labels);
+            w[i] = saved - static_cast<float>(eps);
+            const double down =
+                model.loss().forward(model.forward(x), labels);
+            w[i] = saved;
+            EXPECT_NEAR(g[i], (up - down) / (2.0 * eps), 2e-2)
+                << "param " << p << " index " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace fedgpo

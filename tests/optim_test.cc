@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the baseline/comparator policies: Fixed, Adaptive (BO),
+ * Adaptive (GA), FedEx, and ABS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/action_space.h"
+#include "optim/abs_drl.h"
+#include "optim/bayesian.h"
+#include "optim/fedex.h"
+#include "optim/fixed.h"
+#include "optim/genetic.h"
+
+namespace fedgpo {
+namespace optim {
+namespace {
+
+nn::LayerCensus
+census()
+{
+    nn::LayerCensus c;
+    c.conv = 2;
+    c.dense = 2;
+    return c;
+}
+
+std::vector<fl::DeviceObservation>
+makeDevices(std::size_t n)
+{
+    std::vector<fl::DeviceObservation> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        fl::DeviceObservation obs;
+        obs.client_id = i;
+        obs.category = static_cast<device::Category>(i % 3);
+        obs.network.bandwidth_mbps = 80.0;
+        obs.data_classes = 10;
+        obs.total_classes = 10;
+        obs.shard_size = 30;
+        out.push_back(obs);
+    }
+    return out;
+}
+
+fl::RoundResult
+makeResult(const std::vector<fl::PerDeviceParams> &params,
+           const std::vector<fl::DeviceObservation> &devices,
+           double accuracy, double energy)
+{
+    fl::RoundResult r;
+    r.test_accuracy = accuracy;
+    r.energy_total = energy;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        fl::ClientRoundReport report;
+        report.client_id = devices[i].client_id;
+        report.params = params[i];
+        report.cost.e_total = energy / static_cast<double>(devices.size());
+        r.participants.push_back(report);
+    }
+    return r;
+}
+
+/** Drive one full round of the policy protocol. */
+fl::GlobalParams
+stepPolicy(ParamOptimizer &policy, double accuracy, double energy)
+{
+    const int k = policy.chooseClients(40);
+    auto devices = makeDevices(static_cast<std::size_t>(k));
+    auto params = policy.assign(devices, census());
+    fl::GlobalParams used{params[0].batch, params[0].epochs, k};
+    policy.feedback(makeResult(params, devices, accuracy, energy));
+    return used;
+}
+
+TEST(Fixed, AlwaysReturnsConfiguredParams)
+{
+    FixedOptimizer policy(fl::GlobalParams{4, 5, 10}, "Fixed (Best)");
+    EXPECT_EQ(policy.name(), "Fixed (Best)");
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(policy.chooseClients(40), 10);
+        auto params = policy.assign(makeDevices(10), census());
+        for (const auto &p : params) {
+            EXPECT_EQ(p.batch, 4);
+            EXPECT_EQ(p.epochs, 5);
+        }
+        policy.feedback(
+            makeResult(params, makeDevices(10), 0.5, 100.0));
+    }
+}
+
+TEST(Fixed, KClampedToFleet)
+{
+    FixedOptimizer policy(fl::GlobalParams{4, 5, 20});
+    EXPECT_EQ(policy.chooseClients(8), 8);
+}
+
+TEST(Bayesian, WarmupExploresRandomly)
+{
+    BayesianOptimizer policy(1, 5);
+    std::set<std::string> seen;
+    double acc = 0.1;
+    for (int i = 0; i < 5; ++i) {
+        acc += 0.05;
+        seen.insert(stepPolicy(policy, acc, 100.0).toString());
+    }
+    EXPECT_GE(seen.size(), 2u) << "warmup should sample several configs";
+}
+
+TEST(Bayesian, ProposalsStayOnGrid)
+{
+    BayesianOptimizer policy(2, 3);
+    auto grid = core::allGlobalParams();
+    std::set<std::string> valid;
+    for (const auto &p : grid)
+        valid.insert(p.toString());
+    double acc = 0.1;
+    for (int i = 0; i < 12; ++i) {
+        acc = std::min(0.95, acc + 0.04);
+        auto used = stepPolicy(policy, acc, 80.0);
+        EXPECT_TRUE(valid.count(used.toString())) << used.toString();
+    }
+}
+
+TEST(Genetic, EvolvesAfterFullPopulation)
+{
+    GeneticOptimizer policy(3, 6);
+    double acc = 0.1;
+    EXPECT_EQ(policy.generation(), 0u);
+    for (int i = 0; i < 6; ++i) {
+        acc += 0.02;
+        stepPolicy(policy, acc, 100.0);
+    }
+    EXPECT_EQ(policy.generation(), 1u);
+    for (int i = 0; i < 6; ++i) {
+        acc += 0.02;
+        stepPolicy(policy, acc, 100.0);
+    }
+    EXPECT_EQ(policy.generation(), 2u);
+}
+
+TEST(Genetic, ProposalsStayOnGrid)
+{
+    GeneticOptimizer policy(4);
+    auto grid = core::allGlobalParams();
+    std::set<std::string> valid;
+    for (const auto &p : grid)
+        valid.insert(p.toString());
+    double acc = 0.1;
+    for (int i = 0; i < 20; ++i) {
+        acc = std::min(0.95, acc + 0.03);
+        EXPECT_TRUE(valid.count(stepPolicy(policy, acc, 90.0).toString()));
+    }
+}
+
+TEST(FedEx, DistributionStartsUniform)
+{
+    FedExOptimizer policy(5);
+    const auto &p = policy.distribution();
+    EXPECT_EQ(p.size(), 150u);
+    for (double w : p)
+        EXPECT_NEAR(w, 1.0 / 150.0, 1e-12);
+}
+
+TEST(FedEx, DistributionStaysNormalized)
+{
+    FedExOptimizer policy(6);
+    double acc = 0.1;
+    for (int i = 0; i < 30; ++i) {
+        acc = std::min(0.9, acc + 0.03);
+        stepPolicy(policy, acc, 100.0);
+        double total = 0.0;
+        for (double w : policy.distribution())
+            total += w;
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(FedEx, MassShiftsTowardRewardedArms)
+{
+    // Reward only K = 20 configurations; their mass should grow.
+    FedExOptimizer policy(7, 0.3);
+    auto grid = core::allGlobalParams();
+    double acc = 0.10;
+    for (int i = 0; i < 400; ++i) {
+        const int k = policy.chooseClients(40);
+        auto devices = makeDevices(static_cast<std::size_t>(k));
+        auto params = policy.assign(devices, census());
+        const bool good = k == 20;
+        acc = std::min(0.99, acc + (good ? 0.002 : 0.0005));
+        policy.feedback(makeResult(params, devices, acc,
+                                   good ? 20.0 : 200.0));
+    }
+    double mass_k20 = 0.0;
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (grid[i].clients == 20)
+            mass_k20 += policy.distribution()[i];
+    EXPECT_GT(mass_k20, 0.2) << "uniform mass would be 0.2 exactly";
+}
+
+TEST(Abs, OnlyBatchVariesEpochsFixed)
+{
+    AbsOptimizer policy(8, 10, 20);
+    EXPECT_EQ(policy.chooseClients(40), 20);
+    auto devices = makeDevices(20);
+    auto params = policy.assign(devices, census());
+    ASSERT_EQ(params.size(), 20u);
+    std::set<int> batches(core::kBatchSet.begin(), core::kBatchSet.end());
+    for (const auto &p : params) {
+        EXPECT_EQ(p.epochs, 10) << "ABS must not adjust E";
+        EXPECT_TRUE(batches.count(p.batch));
+    }
+    policy.feedback(makeResult(params, devices, 0.5, 100.0));
+}
+
+TEST(Abs, LearnsWithoutCrashingOverManyRounds)
+{
+    AbsOptimizer policy(9, 10, 10);
+    double acc = 0.1;
+    for (int i = 0; i < 60; ++i) {
+        const int k = policy.chooseClients(40);
+        auto devices = makeDevices(static_cast<std::size_t>(k));
+        auto params = policy.assign(devices, census());
+        acc = std::min(0.95, acc + 0.01);
+        policy.feedback(makeResult(params, devices, acc, 100.0));
+    }
+    SUCCEED();
+}
+
+TEST(Names, MatchPaperLabels)
+{
+    EXPECT_EQ(BayesianOptimizer().name(), "Adaptive (BO)");
+    EXPECT_EQ(GeneticOptimizer().name(), "Adaptive (GA)");
+    EXPECT_EQ(FedExOptimizer().name(), "FedEx");
+    EXPECT_EQ(AbsOptimizer().name(), "ABS");
+}
+
+} // namespace
+} // namespace optim
+} // namespace fedgpo

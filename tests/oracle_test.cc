@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the straggler-gap oracle (Table 5's reference policy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/simulator.h"
+#include "optim/callback_policy.h"
+#include "optim/oracle.h"
+
+namespace fedgpo {
+namespace optim {
+namespace {
+
+fl::FlConfig
+config()
+{
+    fl::FlConfig c;
+    c.workload = models::Workload::CnnMnist;
+    c.n_devices = 12;
+    c.train_samples = 240;
+    c.test_samples = 60;
+    c.seed = 11;
+    return c;
+}
+
+std::vector<fl::DeviceObservation>
+allDevices(const fl::FlSimulator &sim)
+{
+    std::vector<fl::DeviceObservation> out;
+    for (std::size_t i = 0; i < sim.numDevices(); ++i) {
+        fl::DeviceObservation obs;
+        obs.client_id = i;
+        obs.category = sim.client(i).category();
+        out.push_back(obs);
+    }
+    return out;
+}
+
+TEST(Oracle, TargetIsFastestBaselineTime)
+{
+    fl::FlSimulator sim(config());
+    sim.runRoundWithParams(fl::GlobalParams{8, 1, 4});  // init states
+    auto devices = allDevices(sim);
+    const fl::PerDeviceParams base{8, 10};
+    const double target = oracleTargetTime(sim, devices, base);
+    for (const auto &obs : devices)
+        EXPECT_LE(target, sim.predictedRoundTime(obs.client_id, base) +
+                              1e-9);
+}
+
+TEST(Oracle, ParamsNarrowTheGap)
+{
+    fl::FlSimulator sim(config());
+    sim.runRoundWithParams(fl::GlobalParams{8, 1, 4});
+    auto devices = allDevices(sim);
+    const fl::PerDeviceParams base{8, 10};
+    const double target = oracleTargetTime(sim, devices, base);
+
+    // Under uniform baseline params, times spread widely; under oracle
+    // params, every device's time must be within a modest band of the
+    // target (or as close as the discrete grid permits).
+    double max_base_err = 0.0, max_oracle_err = 0.0;
+    for (const auto &obs : devices) {
+        const double tb = sim.predictedRoundTime(obs.client_id, base);
+        const auto params = oracleParamsFor(sim, obs.client_id, target);
+        const double to = sim.predictedRoundTime(obs.client_id, params);
+        max_base_err = std::max(max_base_err,
+                                std::fabs(tb - target) / target);
+        max_oracle_err = std::max(max_oracle_err,
+                                  std::fabs(to - target) / target);
+    }
+    EXPECT_LT(max_oracle_err, max_base_err);
+    EXPECT_LT(max_oracle_err, 0.6);
+}
+
+TEST(Oracle, SlowTierGetsLessWorkThanFastTier)
+{
+    fl::FlSimulator sim(config());
+    sim.runRoundWithParams(fl::GlobalParams{8, 1, 4});
+    auto devices = allDevices(sim);
+    const fl::PerDeviceParams base{8, 10};
+    const double target = oracleTargetTime(sim, devices, base);
+    long high_work = 0, low_work = 0;
+    int high_n = 0, low_n = 0;
+    for (const auto &obs : devices) {
+        const auto p = oracleParamsFor(sim, obs.client_id, target);
+        if (obs.category == device::Category::High) {
+            high_work += p.epochs;
+            ++high_n;
+        } else if (obs.category == device::Category::Low) {
+            low_work += p.epochs;
+            ++low_n;
+        }
+    }
+    ASSERT_GT(high_n, 0);
+    ASSERT_GT(low_n, 0);
+    EXPECT_GT(static_cast<double>(high_work) / high_n,
+              static_cast<double>(low_work) / low_n);
+}
+
+TEST(Oracle, PredictionAccuracyIsPerfectForOracleItself)
+{
+    fl::FlSimulator sim(config());
+    const fl::PerDeviceParams base{8, 10};
+    CallbackPolicy oracle(
+        "oracle", 8,
+        [&sim, &base](const std::vector<fl::DeviceObservation> &obs,
+                      const nn::LayerCensus &) {
+            const double target = oracleTargetTime(sim, obs, base);
+            std::vector<fl::PerDeviceParams> out;
+            for (const auto &o : obs)
+                out.push_back(oracleParamsFor(sim, o.client_id, target));
+            return out;
+        });
+    auto result = sim.runRound(oracle);
+    EXPECT_NEAR(predictionAccuracy(sim, result, base), 1.0, 1e-9);
+}
+
+TEST(Oracle, PredictionAccuracyPenalizesUniformParams)
+{
+    fl::FlSimulator sim(config());
+    auto result = sim.runRoundWithParams(fl::GlobalParams{8, 10, 8});
+    const fl::PerDeviceParams base{8, 10};
+    const double acc = predictionAccuracy(sim, result, base);
+    EXPECT_LT(acc, 1.0);
+    EXPECT_GT(acc, 0.0);
+}
+
+TEST(Oracle, EmptyRoundIsTriviallyAccurate)
+{
+    fl::FlSimulator sim(config());
+    fl::RoundResult empty;
+    EXPECT_DOUBLE_EQ(
+        predictionAccuracy(sim, empty, fl::PerDeviceParams{8, 10}), 1.0);
+}
+
+} // namespace
+} // namespace optim
+} // namespace fedgpo

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the IID and Dirichlet non-IID partitioners, including
+ * parameterized sweeps over the concentration alpha (the paper uses
+ * alpha = 0.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace data {
+namespace {
+
+/** Every sample must land in exactly one shard. */
+void
+expectExactCover(const Partition &shards, std::size_t n_samples)
+{
+    std::vector<int> seen(n_samples, 0);
+    for (const auto &shard : shards)
+        for (std::size_t idx : shard) {
+            ASSERT_LT(idx, n_samples);
+            ++seen[idx];
+        }
+    for (std::size_t i = 0; i < n_samples; ++i)
+        EXPECT_EQ(seen[i], 1) << "sample " << i;
+}
+
+TEST(IidPartition, EvenSizes)
+{
+    util::Rng rng(1);
+    Dataset ds = makeSyntheticMnist(103, rng);
+    util::Rng prng(2);
+    auto shards = iidPartition(ds, 10, prng);
+    ASSERT_EQ(shards.size(), 10u);
+    for (const auto &s : shards) {
+        EXPECT_GE(s.size(), 10u);
+        EXPECT_LE(s.size(), 11u);
+    }
+    expectExactCover(shards, ds.size());
+}
+
+TEST(IidPartition, ShardsSeeMostClasses)
+{
+    util::Rng rng(3);
+    Dataset ds = makeSyntheticMnist(600, rng);
+    util::Rng prng(4);
+    auto shards = iidPartition(ds, 10, prng);
+    for (const auto &s : shards)
+        EXPECT_GE(ds.classesPresent(s), 8u);
+}
+
+TEST(DirichletPartition, ExactCover)
+{
+    util::Rng rng(5);
+    Dataset ds = makeSyntheticMnist(400, rng);
+    util::Rng prng(6);
+    auto shards = dirichletPartition(ds, 16, 0.1, prng);
+    ASSERT_EQ(shards.size(), 16u);
+    expectExactCover(shards, ds.size());
+}
+
+TEST(DirichletPartition, LowAlphaSkewsClasses)
+{
+    util::Rng rng(7);
+    Dataset ds = makeSyntheticMnist(1000, rng);
+    util::Rng iid_rng(8), dir_rng(8);
+    auto iid = iidPartition(ds, 20, iid_rng);
+    auto dir = dirichletPartition(ds, 20, 0.1, dir_rng);
+    double iid_classes = 0.0, dir_classes = 0.0;
+    for (std::size_t d = 0; d < 20; ++d) {
+        iid_classes += static_cast<double>(ds.classesPresent(iid[d]));
+        dir_classes += static_cast<double>(ds.classesPresent(dir[d]));
+    }
+    EXPECT_LT(dir_classes, iid_classes * 0.75)
+        << "Dirichlet(0.1) shards must hold far fewer classes than IID";
+}
+
+TEST(DirichletPartition, MinimumShardSizeHonored)
+{
+    util::Rng rng(9);
+    Dataset ds = makeSyntheticMnist(500, rng);
+    util::Rng prng(10);
+    auto shards = dirichletPartition(ds, 25, 0.05, prng, 8);
+    for (const auto &s : shards)
+        EXPECT_GE(s.size(), 8u);
+}
+
+TEST(MakePartition, Dispatch)
+{
+    util::Rng rng(11);
+    Dataset ds = makeSyntheticMnist(200, rng);
+    util::Rng prng(12);
+    auto iid = makePartition(ds, 5, Distribution::IidIdeal, prng);
+    EXPECT_EQ(iid.size(), 5u);
+    auto non = makePartition(ds, 5, Distribution::NonIid, prng);
+    EXPECT_EQ(non.size(), 5u);
+}
+
+/** Parameterized sweep: cover + min-size invariants hold for any alpha. */
+class DirichletAlphaTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DirichletAlphaTest, InvariantsHold)
+{
+    const double alpha = GetParam();
+    util::Rng rng(13);
+    Dataset ds = makeSyntheticMnist(600, rng);
+    util::Rng prng(14);
+    auto shards = dirichletPartition(ds, 12, alpha, prng);
+    ASSERT_EQ(shards.size(), 12u);
+    expectExactCover(shards, ds.size());
+    for (const auto &s : shards)
+        EXPECT_GE(s.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, DirichletAlphaTest,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0, 10.0));
+
+/** Parameterized sweep over device counts. */
+class PartitionDeviceCountTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PartitionDeviceCountTest, CoverAtAnyFleetSize)
+{
+    const std::size_t n_dev = GetParam();
+    util::Rng rng(15);
+    Dataset ds = makeSyntheticMnist(400, rng);
+    util::Rng prng(16);
+    auto iid = iidPartition(ds, n_dev, prng);
+    expectExactCover(iid, ds.size());
+    auto dir = dirichletPartition(ds, n_dev, 0.1, prng);
+    expectExactCover(dir, ds.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSizes, PartitionDeviceCountTest,
+                         ::testing::Values(1u, 2u, 10u, 40u));
+
+} // namespace
+} // namespace data
+} // namespace fedgpo

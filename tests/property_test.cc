@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property-based sweeps over the FL simulator: invariants that must hold
+ * for every (B, E, K) combination, workload, and variance regime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/scenario.h"
+#include "fl/simulator.h"
+
+namespace fedgpo {
+namespace fl {
+namespace {
+
+/** Check all structural invariants of one round result. */
+void
+expectRoundInvariants(const FlSimulator &sim, const RoundResult &r,
+                      int requested_k)
+{
+    // Participant count respects K and the fleet size.
+    EXPECT_EQ(r.participants.size(),
+              static_cast<std::size_t>(
+                  std::min(requested_k,
+                           static_cast<int>(sim.numDevices()))));
+
+    // All energies and times finite and nonnegative; components add up.
+    EXPECT_TRUE(std::isfinite(r.round_time));
+    EXPECT_GE(r.round_time, 0.0);
+    EXPECT_NEAR(r.energy_total, r.energy_participants + r.energy_idle,
+                1e-6);
+    double sum_participants = 0.0;
+    std::size_t drops = 0;
+    for (const auto &p : r.participants) {
+        EXPECT_TRUE(std::isfinite(p.cost.e_total));
+        EXPECT_GE(p.cost.e_comp, 0.0);
+        EXPECT_GE(p.cost.e_comm, 0.0);
+        EXPECT_GE(p.cost.e_wait, 0.0);
+        EXPECT_NEAR(p.cost.e_total,
+                    p.cost.e_comp + p.cost.e_comm + p.cost.e_wait, 1e-6);
+        sum_participants += p.cost.e_total;
+        drops += p.dropped ? 1 : 0;
+        // Kept participants fit inside the round window.
+        if (!p.dropped) {
+            EXPECT_LE(p.cost.t_round, r.round_time + 1e-9);
+        }
+    }
+    EXPECT_NEAR(r.energy_participants, sum_participants, 1e-6);
+    EXPECT_EQ(r.dropped_count, drops);
+
+    // Accuracy is a probability.
+    EXPECT_GE(r.test_accuracy, 0.0);
+    EXPECT_LE(r.test_accuracy, 1.0);
+}
+
+class RoundInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(RoundInvariantTest, HoldAcrossParameterGrid)
+{
+    const auto [batch, epochs, clients] = GetParam();
+    FlConfig config;
+    config.workload = models::Workload::CnnMnist;
+    config.n_devices = 10;
+    config.train_samples = 160;
+    config.test_samples = 40;
+    config.seed = 77;
+    FlSimulator sim(config);
+    for (int round = 0; round < 2; ++round) {
+        auto r = sim.runRoundWithParams(
+            GlobalParams{batch, epochs, clients});
+        expectRoundInvariants(sim, r, clients);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RoundInvariantTest,
+    ::testing::Combine(::testing::Values(1, 8, 32),
+                       ::testing::Values(1, 5, 20),
+                       ::testing::Values(1, 5, 20)));
+
+class VarianceInvariantTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>>
+{
+};
+
+TEST_P(VarianceInvariantTest, HoldAcrossVarianceAndDistribution)
+{
+    const auto [interference, network, non_iid] = GetParam();
+    FlConfig config;
+    config.workload = models::Workload::CnnMnist;
+    config.n_devices = 10;
+    config.train_samples = 160;
+    config.test_samples = 40;
+    config.interference = interference;
+    config.network_unstable = network;
+    config.distribution = non_iid ? data::Distribution::NonIid
+                                  : data::Distribution::IidIdeal;
+    config.seed = 78;
+    FlSimulator sim(config);
+    for (int round = 0; round < 3; ++round) {
+        auto r = sim.runRoundWithParams(GlobalParams{8, 5, 6});
+        expectRoundInvariants(sim, r, 6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, VarianceInvariantTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+class WorkloadInvariantTest
+    : public ::testing::TestWithParam<models::Workload>
+{
+};
+
+TEST_P(WorkloadInvariantTest, EveryWorkloadRunsAndLearns)
+{
+    FlConfig config;
+    config.workload = GetParam();
+    config.n_devices = 10;
+    config.train_samples = 200;
+    config.test_samples = 60;
+    config.seed = 79;
+    FlSimulator sim(config);
+    double first = 0.0, last = 0.0;
+    for (int round = 0; round < 6; ++round) {
+        auto r = sim.runRoundWithParams(GlobalParams{8, 5, 8});
+        expectRoundInvariants(sim, r, 8);
+        if (round == 0)
+            first = r.test_accuracy;
+        last = r.test_accuracy;
+    }
+    EXPECT_GT(last, first) << models::workloadName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadInvariantTest,
+    ::testing::Values(models::Workload::CnnMnist,
+                      models::Workload::LstmShakespeare,
+                      models::Workload::MobileNetImageNet));
+
+TEST(EnergyMonotonicity, MoreEpochsMoreParticipantEnergy)
+{
+    // With identical seeds and selection, a round with E = 15 must cost
+    // the participants more energy than one with E = 1.
+    auto run = [](int epochs) {
+        FlConfig config;
+        config.workload = models::Workload::CnnMnist;
+        config.n_devices = 10;
+        config.train_samples = 160;
+        config.test_samples = 40;
+        config.seed = 80;
+        FlSimulator sim(config);
+        return sim.runRoundWithParams(GlobalParams{8, epochs, 6})
+            .energy_participants;
+    };
+    EXPECT_GT(run(15), run(1));
+}
+
+TEST(ScenarioInvariant, FullScaleDisabledByDefault)
+{
+    // The test environment must not accidentally run at paper scale.
+    EXPECT_FALSE(exp::fullScale());
+}
+
+} // namespace
+} // namespace fl
+} // namespace fedgpo

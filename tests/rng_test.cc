@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace util {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(123), b(124);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(9), b(9);
+    Rng ca = a.split(5);
+    Rng cb = b.split(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, SplitChildrenIndependentOfTag)
+{
+    Rng parent(9);
+    Rng c1 = parent.split(1);
+    Rng parent2(9);
+    Rng c2 = parent2.split(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (c1.next() == c2.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(2);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -2;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(4);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(6);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GammaMeanEqualsShape)
+{
+    Rng rng(7);
+    for (double shape : {0.5, 1.0, 3.0}) {
+        double sum = 0.0;
+        const int n = 50000;
+        for (int i = 0; i < n; ++i)
+            sum += rng.gamma(shape);
+        EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape=" << shape;
+    }
+}
+
+TEST(Rng, GammaRejectsNonPositiveShape)
+{
+    Rng rng(8);
+    EXPECT_THROW(rng.gamma(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.gamma(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, DirichletSumsToOne)
+{
+    Rng rng(9);
+    for (double alpha : {0.1, 1.0, 10.0}) {
+        auto v = rng.dirichlet(alpha, 8);
+        ASSERT_EQ(v.size(), 8u);
+        double total = 0.0;
+        for (double x : v) {
+            EXPECT_GE(x, 0.0);
+            total += x;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(Rng, DirichletLowAlphaIsSkewed)
+{
+    Rng rng(10);
+    // With alpha = 0.1 the max coordinate should usually dominate.
+    int dominated = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto v = rng.dirichlet(0.1, 10);
+        double mx = *std::max_element(v.begin(), v.end());
+        if (mx > 0.5)
+            ++dominated;
+    }
+    EXPECT_GT(dominated, 120);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(11);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsZeroMass)
+{
+    Rng rng(12);
+    std::vector<double> w = {0.0, 0.0};
+    EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(13);
+    auto s = rng.sampleWithoutReplacement(10, 20);
+    ASSERT_EQ(s.size(), 10u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    for (auto idx : s)
+        EXPECT_LT(idx, 20u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPool)
+{
+    Rng rng(14);
+    auto s = rng.sampleWithoutReplacement(5, 5);
+    std::sort(s.begin(), s.end());
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(15);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+} // namespace
+} // namespace util
+} // namespace fedgpo

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace fedgpo {
+namespace util {
+namespace {
+
+TEST(RunningStat, EmptyIsNeutral)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat s;
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Quantile, MedianOfOddSample)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStats)
+{
+    EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, Extremes)
+{
+    std::vector<double> v = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(Mean, Basic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Geomean, Basic)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(TrailingMean, WindowedAndClamped)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(trailingMean(v, 2), 3.5);
+    EXPECT_DOUBLE_EQ(trailingMean(v, 10), 2.5);
+    EXPECT_DOUBLE_EQ(trailingMean({}, 3), 0.0);
+}
+
+} // namespace
+} // namespace util
+} // namespace fedgpo

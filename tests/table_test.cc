@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for table/CSV formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace fedgpo {
+namespace util {
+namespace {
+
+TEST(Fmt, FixedDecimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, RatioAndPercent)
+{
+    EXPECT_EQ(fmtX(3.6), "3.6x");
+    EXPECT_EQ(fmtPct(0.947), "94.7%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table t({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os, "Title");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header and both rows plus separator.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "plain"});
+    t.addRow({"2", "with,comma"});
+    t.addRow({"3", "with\"quote"});
+    const std::string path = "/tmp/fedgpo_table_test.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,plain");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,\"with,comma\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3,\"with\"\"quote\"");
+    std::remove(path.c_str());
+}
+
+TEST(Table, CsvToUnwritablePathFails)
+{
+    Table t({"a"});
+    EXPECT_FALSE(t.writeCsv("/nonexistent_dir_xyz/out.csv"));
+}
+
+} // namespace
+} // namespace util
+} // namespace fedgpo

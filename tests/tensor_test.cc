@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the Tensor container and kernels in tensor/ops.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace tensor {
+namespace {
+
+TEST(Shape, NumelAndString)
+{
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24u);
+    EXPECT_EQ(shapeNumel({}), 1u);
+    EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t({4}, 2.5f);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize)
+{
+    EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+    EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+                 util::FatalError);
+}
+
+TEST(Tensor, At2d)
+{
+    Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(t.at(0, 0), 1.0f);
+    EXPECT_EQ(t.at(1, 2), 6.0f);
+    t.at(1, 0) = 9.0f;
+    EXPECT_EQ(t[3], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    t.reshape({3, 2});
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_EQ(t[4], 5.0f);
+    EXPECT_THROW(t.reshape({4, 2}), util::FatalError);
+}
+
+TEST(Tensor, ElementwiseArithmetic)
+{
+    Tensor a({3}, std::vector<float>{1, 2, 3});
+    Tensor b({3}, std::vector<float>{10, 20, 30});
+    a += b;
+    EXPECT_EQ(a[2], 33.0f);
+    a -= b;
+    EXPECT_EQ(a[2], 3.0f);
+    a *= 2.0f;
+    EXPECT_EQ(a[0], 2.0f);
+    a.addScaled(b, 0.1f);
+    EXPECT_NEAR(a[1], 6.0f, 1e-6);
+}
+
+TEST(Tensor, SumAndNorm)
+{
+    Tensor t({4}, std::vector<float>{1, -2, 3, -4});
+    EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+    EXPECT_DOUBLE_EQ(t.squaredNorm(), 30.0);
+}
+
+TEST(Matmul, KnownProduct)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c;
+    matmul(a, b, c);
+    ASSERT_EQ(c.shape(), (Shape{2, 2}));
+    EXPECT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, TransAMatchesExplicitTranspose)
+{
+    util::Rng rng(3);
+    Tensor a({4, 3});
+    Tensor b({4, 5});
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        a[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (std::size_t i = 0; i < b.numel(); ++i)
+        b[i] = static_cast<float>(rng.uniform(-1, 1));
+    // Explicit transpose of a.
+    Tensor at({3, 4});
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            at.at(j, i) = a.at(i, j);
+    Tensor expect, got;
+    matmul(at, b, expect);
+    matmulTransA(a, b, got);
+    ASSERT_EQ(expect.shape(), got.shape());
+    for (std::size_t i = 0; i < expect.numel(); ++i)
+        EXPECT_NEAR(expect[i], got[i], 1e-5);
+}
+
+TEST(Matmul, TransBMatchesExplicitTranspose)
+{
+    util::Rng rng(4);
+    Tensor a({3, 4});
+    Tensor b({5, 4});
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        a[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (std::size_t i = 0; i < b.numel(); ++i)
+        b[i] = static_cast<float>(rng.uniform(-1, 1));
+    Tensor bt({4, 5});
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            bt.at(j, i) = b.at(i, j);
+    Tensor expect, got;
+    matmul(a, bt, expect);
+    matmulTransB(a, b, got);
+    ASSERT_EQ(expect.shape(), got.shape());
+    for (std::size_t i = 0; i < expect.numel(); ++i)
+        EXPECT_NEAR(expect[i], got[i], 1e-5);
+}
+
+TEST(Matmul, AccumAddsOntoExisting)
+{
+    Tensor a({1, 2}, std::vector<float>{1, 1});
+    Tensor b({2, 1}, std::vector<float>{2, 3});
+    Tensor c({1, 1}, std::vector<float>{10});
+    matmulAccum(a, b, c);
+    EXPECT_EQ(c[0], 15.0f);
+}
+
+TEST(ConvExtent, Formula)
+{
+    EXPECT_EQ(convOutExtent(16, 3, 1, 1), 16u);
+    EXPECT_EQ(convOutExtent(16, 3, 1, 0), 14u);
+    EXPECT_EQ(convOutExtent(7, 3, 2, 0), 3u);
+    EXPECT_EQ(convOutExtent(8, 2, 2, 0), 4u);
+}
+
+TEST(Im2col, IdentityKernelReproducesInput)
+{
+    // 1x1 kernel, stride 1, no pad: columns are just the input pixels.
+    Tensor x({1, 2, 3, 3});
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(i);
+    Tensor cols;
+    im2col(x, 1, 1, 1, 0, cols);
+    ASSERT_EQ(cols.shape(), (Shape{9, 2}));
+    // Column c of row (y*3+x) should be input channel c at (y, x).
+    EXPECT_EQ(cols.at(0, 0), 0.0f);
+    EXPECT_EQ(cols.at(0, 1), 9.0f);
+    EXPECT_EQ(cols.at(8, 0), 8.0f);
+    EXPECT_EQ(cols.at(8, 1), 17.0f);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    Tensor cols;
+    im2col(x, 3, 3, 1, 1, cols);
+    ASSERT_EQ(cols.shape(), (Shape{4, 9}));
+    // Top-left output position: the first row/col of the 3x3 window is
+    // padding.
+    EXPECT_EQ(cols.at(0, 0), 0.0f);
+    EXPECT_EQ(cols.at(0, 4), 1.0f);  // center = pixel (0,0)
+    EXPECT_EQ(cols.at(0, 5), 2.0f);
+    EXPECT_EQ(cols.at(0, 8), 4.0f);
+}
+
+TEST(Im2colCol2im, AdjointProperty)
+{
+    // col2im is the transpose of im2col as a linear map:
+    // <im2col(x), y> == <x, col2im(y)> for all x, y.
+    util::Rng rng(5);
+    Tensor x({2, 2, 5, 5});
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<float>(rng.uniform(-1, 1));
+    Tensor cols;
+    im2col(x, 3, 3, 2, 1, cols);
+    Tensor y(cols.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        y[i] = static_cast<float>(rng.uniform(-1, 1));
+    Tensor back({2, 2, 5, 5});
+    col2im(y, 3, 3, 2, 1, back);
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols.numel(); ++i)
+        lhs += static_cast<double>(cols[i]) * y[i];
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+} // namespace
+} // namespace tensor
+} // namespace fedgpo
