@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hyperparams.dir/ablation_hyperparams.cc.o"
+  "CMakeFiles/ablation_hyperparams.dir/ablation_hyperparams.cc.o.d"
+  "ablation_hyperparams"
+  "ablation_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fedgpo_bench_util.dir/bench_util.cc.o.d"
+  "libfedgpo_bench_util.a"
+  "libfedgpo_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_param_sweep.dir/fig01_param_sweep.cc.o"
+  "CMakeFiles/fig01_param_sweep.dir/fig01_param_sweep.cc.o.d"
+  "fig01_param_sweep"
+  "fig01_param_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

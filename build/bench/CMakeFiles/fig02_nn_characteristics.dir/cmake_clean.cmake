@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nn_characteristics.dir/fig02_nn_characteristics.cc.o"
+  "CMakeFiles/fig02_nn_characteristics.dir/fig02_nn_characteristics.cc.o.d"
+  "fig02_nn_characteristics"
+  "fig02_nn_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nn_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

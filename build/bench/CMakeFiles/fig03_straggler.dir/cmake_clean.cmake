@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_straggler.dir/fig03_straggler.cc.o"
+  "CMakeFiles/fig03_straggler.dir/fig03_straggler.cc.o.d"
+  "fig03_straggler"
+  "fig03_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_runtime_variance.dir/fig04_runtime_variance.cc.o"
+  "CMakeFiles/fig04_runtime_variance.dir/fig04_runtime_variance.cc.o.d"
+  "fig04_runtime_variance"
+  "fig04_runtime_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_runtime_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

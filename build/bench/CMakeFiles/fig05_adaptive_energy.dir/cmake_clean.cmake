@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_adaptive_energy.dir/fig05_adaptive_energy.cc.o"
+  "CMakeFiles/fig05_adaptive_energy.dir/fig05_adaptive_energy.cc.o.d"
+  "fig05_adaptive_energy"
+  "fig05_adaptive_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_adaptive_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

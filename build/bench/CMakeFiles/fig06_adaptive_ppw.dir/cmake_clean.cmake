@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_adaptive_ppw.dir/fig06_adaptive_ppw.cc.o"
+  "CMakeFiles/fig06_adaptive_ppw.dir/fig06_adaptive_ppw.cc.o.d"
+  "fig06_adaptive_ppw"
+  "fig06_adaptive_ppw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_adaptive_ppw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_data_heterogeneity.dir/fig07_data_heterogeneity.cc.o"
+  "CMakeFiles/fig07_data_heterogeneity.dir/fig07_data_heterogeneity.cc.o.d"
+  "fig07_data_heterogeneity"
+  "fig07_data_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_data_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_overview.dir/fig09_overview.cc.o"
+  "CMakeFiles/fig09_overview.dir/fig09_overview.cc.o.d"
+  "fig09_overview"
+  "fig09_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

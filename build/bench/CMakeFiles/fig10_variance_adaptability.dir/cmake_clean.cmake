@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_variance_adaptability.dir/fig10_variance_adaptability.cc.o"
+  "CMakeFiles/fig10_variance_adaptability.dir/fig10_variance_adaptability.cc.o.d"
+  "fig10_variance_adaptability"
+  "fig10_variance_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_variance_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

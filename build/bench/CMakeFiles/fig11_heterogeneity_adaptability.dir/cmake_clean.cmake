@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_heterogeneity_adaptability.dir/fig11_heterogeneity_adaptability.cc.o"
+  "CMakeFiles/fig11_heterogeneity_adaptability.dir/fig11_heterogeneity_adaptability.cc.o.d"
+  "fig11_heterogeneity_adaptability"
+  "fig11_heterogeneity_adaptability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_heterogeneity_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_prior_work.dir/fig12_prior_work.cc.o"
+  "CMakeFiles/fig12_prior_work.dir/fig12_prior_work.cc.o.d"
+  "fig12_prior_work"
+  "fig12_prior_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

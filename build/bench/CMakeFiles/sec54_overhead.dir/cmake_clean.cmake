@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_overhead.dir/sec54_overhead.cc.o"
+  "CMakeFiles/sec54_overhead.dir/sec54_overhead.cc.o.d"
+  "sec54_overhead"
+  "sec54_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

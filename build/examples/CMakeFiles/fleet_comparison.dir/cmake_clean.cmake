@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_comparison.dir/fleet_comparison.cpp.o"
+  "CMakeFiles/fleet_comparison.dir/fleet_comparison.cpp.o.d"
+  "fleet_comparison"
+  "fleet_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_core.dir/action_space.cc.o"
+  "CMakeFiles/fedgpo_core.dir/action_space.cc.o.d"
+  "CMakeFiles/fedgpo_core.dir/clustering.cc.o"
+  "CMakeFiles/fedgpo_core.dir/clustering.cc.o.d"
+  "CMakeFiles/fedgpo_core.dir/fedgpo.cc.o"
+  "CMakeFiles/fedgpo_core.dir/fedgpo.cc.o.d"
+  "CMakeFiles/fedgpo_core.dir/qtable.cc.o"
+  "CMakeFiles/fedgpo_core.dir/qtable.cc.o.d"
+  "CMakeFiles/fedgpo_core.dir/reward.cc.o"
+  "CMakeFiles/fedgpo_core.dir/reward.cc.o.d"
+  "CMakeFiles/fedgpo_core.dir/state.cc.o"
+  "CMakeFiles/fedgpo_core.dir/state.cc.o.d"
+  "libfedgpo_core.a"
+  "libfedgpo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

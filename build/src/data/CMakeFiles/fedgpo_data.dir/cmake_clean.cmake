@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_data.dir/dataset.cc.o"
+  "CMakeFiles/fedgpo_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fedgpo_data.dir/partition.cc.o"
+  "CMakeFiles/fedgpo_data.dir/partition.cc.o.d"
+  "CMakeFiles/fedgpo_data.dir/synthetic.cc.o"
+  "CMakeFiles/fedgpo_data.dir/synthetic.cc.o.d"
+  "libfedgpo_data.a"
+  "libfedgpo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedgpo_data.a"
+)

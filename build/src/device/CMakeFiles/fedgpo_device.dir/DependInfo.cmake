@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cost_model.cc" "src/device/CMakeFiles/fedgpo_device.dir/cost_model.cc.o" "gcc" "src/device/CMakeFiles/fedgpo_device.dir/cost_model.cc.o.d"
+  "/root/repo/src/device/device_profile.cc" "src/device/CMakeFiles/fedgpo_device.dir/device_profile.cc.o" "gcc" "src/device/CMakeFiles/fedgpo_device.dir/device_profile.cc.o.d"
+  "/root/repo/src/device/interference.cc" "src/device/CMakeFiles/fedgpo_device.dir/interference.cc.o" "gcc" "src/device/CMakeFiles/fedgpo_device.dir/interference.cc.o.d"
+  "/root/repo/src/device/network_model.cc" "src/device/CMakeFiles/fedgpo_device.dir/network_model.cc.o" "gcc" "src/device/CMakeFiles/fedgpo_device.dir/network_model.cc.o.d"
+  "/root/repo/src/device/power_model.cc" "src/device/CMakeFiles/fedgpo_device.dir/power_model.cc.o" "gcc" "src/device/CMakeFiles/fedgpo_device.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fedgpo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedgpo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedgpo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedgpo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_device.dir/cost_model.cc.o"
+  "CMakeFiles/fedgpo_device.dir/cost_model.cc.o.d"
+  "CMakeFiles/fedgpo_device.dir/device_profile.cc.o"
+  "CMakeFiles/fedgpo_device.dir/device_profile.cc.o.d"
+  "CMakeFiles/fedgpo_device.dir/interference.cc.o"
+  "CMakeFiles/fedgpo_device.dir/interference.cc.o.d"
+  "CMakeFiles/fedgpo_device.dir/network_model.cc.o"
+  "CMakeFiles/fedgpo_device.dir/network_model.cc.o.d"
+  "CMakeFiles/fedgpo_device.dir/power_model.cc.o"
+  "CMakeFiles/fedgpo_device.dir/power_model.cc.o.d"
+  "libfedgpo_device.a"
+  "libfedgpo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

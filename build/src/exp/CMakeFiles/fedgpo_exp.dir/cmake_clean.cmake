@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_exp.dir/campaign.cc.o"
+  "CMakeFiles/fedgpo_exp.dir/campaign.cc.o.d"
+  "CMakeFiles/fedgpo_exp.dir/scenario.cc.o"
+  "CMakeFiles/fedgpo_exp.dir/scenario.cc.o.d"
+  "libfedgpo_exp.a"
+  "libfedgpo_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_fl.dir/client.cc.o"
+  "CMakeFiles/fedgpo_fl.dir/client.cc.o.d"
+  "CMakeFiles/fedgpo_fl.dir/convergence.cc.o"
+  "CMakeFiles/fedgpo_fl.dir/convergence.cc.o.d"
+  "CMakeFiles/fedgpo_fl.dir/simulator.cc.o"
+  "CMakeFiles/fedgpo_fl.dir/simulator.cc.o.d"
+  "CMakeFiles/fedgpo_fl.dir/types.cc.o"
+  "CMakeFiles/fedgpo_fl.dir/types.cc.o.d"
+  "libfedgpo_fl.a"
+  "libfedgpo_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

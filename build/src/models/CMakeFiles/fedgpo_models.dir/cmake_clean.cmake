@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_models.dir/zoo.cc.o"
+  "CMakeFiles/fedgpo_models.dir/zoo.cc.o.d"
+  "libfedgpo_models.a"
+  "libfedgpo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

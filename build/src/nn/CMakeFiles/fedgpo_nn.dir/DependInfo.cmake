@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/depthwise_conv2d.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/depthwise_conv2d.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/depthwise_conv2d.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/pool2d.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/pool2d.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/pool2d.cc.o.d"
+  "/root/repo/src/nn/sgd.cc" "src/nn/CMakeFiles/fedgpo_nn.dir/sgd.cc.o" "gcc" "src/nn/CMakeFiles/fedgpo_nn.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedgpo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedgpo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

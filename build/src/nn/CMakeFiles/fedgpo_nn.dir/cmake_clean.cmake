@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_nn.dir/activations.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/activations.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/conv2d.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/dense.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/dense.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/depthwise_conv2d.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/depthwise_conv2d.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/init.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/init.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/layer.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/layer.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/loss.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/loss.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/lstm.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/model.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/model.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/pool2d.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/pool2d.cc.o.d"
+  "CMakeFiles/fedgpo_nn.dir/sgd.cc.o"
+  "CMakeFiles/fedgpo_nn.dir/sgd.cc.o.d"
+  "libfedgpo_nn.a"
+  "libfedgpo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/abs_drl.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/abs_drl.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/abs_drl.cc.o.d"
+  "/root/repo/src/optim/bayesian.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/bayesian.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/bayesian.cc.o.d"
+  "/root/repo/src/optim/fedex.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/fedex.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/fedex.cc.o.d"
+  "/root/repo/src/optim/fixed.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/fixed.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/fixed.cc.o.d"
+  "/root/repo/src/optim/genetic.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/genetic.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/genetic.cc.o.d"
+  "/root/repo/src/optim/global_policy.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/global_policy.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/global_policy.cc.o.d"
+  "/root/repo/src/optim/oracle.cc" "src/optim/CMakeFiles/fedgpo_optim.dir/oracle.cc.o" "gcc" "src/optim/CMakeFiles/fedgpo_optim.dir/oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedgpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedgpo_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedgpo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedgpo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedgpo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fedgpo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedgpo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedgpo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_optim.dir/abs_drl.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/abs_drl.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/bayesian.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/bayesian.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/fedex.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/fedex.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/fixed.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/fixed.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/genetic.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/genetic.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/global_policy.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/global_policy.cc.o.d"
+  "CMakeFiles/fedgpo_optim.dir/oracle.cc.o"
+  "CMakeFiles/fedgpo_optim.dir/oracle.cc.o.d"
+  "libfedgpo_optim.a"
+  "libfedgpo_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

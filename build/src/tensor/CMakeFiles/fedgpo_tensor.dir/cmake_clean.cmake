@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_tensor.dir/ops.cc.o"
+  "CMakeFiles/fedgpo_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/fedgpo_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fedgpo_tensor.dir/tensor.cc.o.d"
+  "libfedgpo_tensor.a"
+  "libfedgpo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_util.dir/logging.cc.o"
+  "CMakeFiles/fedgpo_util.dir/logging.cc.o.d"
+  "CMakeFiles/fedgpo_util.dir/rng.cc.o"
+  "CMakeFiles/fedgpo_util.dir/rng.cc.o.d"
+  "CMakeFiles/fedgpo_util.dir/stats.cc.o"
+  "CMakeFiles/fedgpo_util.dir/stats.cc.o.d"
+  "CMakeFiles/fedgpo_util.dir/table.cc.o"
+  "CMakeFiles/fedgpo_util.dir/table.cc.o.d"
+  "libfedgpo_util.a"
+  "libfedgpo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

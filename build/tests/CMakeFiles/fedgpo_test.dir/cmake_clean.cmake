@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedgpo_test.dir/fedgpo_test.cc.o"
+  "CMakeFiles/fedgpo_test.dir/fedgpo_test.cc.o.d"
+  "fedgpo_test"
+  "fedgpo_test.pdb"
+  "fedgpo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedgpo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/fedgpo_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedgpo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/fedgpo_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fedgpo_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedgpo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fedgpo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedgpo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedgpo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedgpo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedgpo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
