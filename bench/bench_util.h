@@ -18,6 +18,7 @@
 #include <string>
 
 #include "exp/campaign.h"
+#include "runtime/runtime_config.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "exp/scenario.h"
@@ -113,6 +114,10 @@ banner(const std::string &experiment, const std::string &paper_claim)
                                    : "quick (set FEDGPO_BENCH_FULL=1 for "
                                      "paper scale)")
               << "\n";
+    // Host parallelism is reported for reproducibility of wall-clock
+    // numbers only; modeled time/energy are thread-count-invariant.
+    std::cout << "threads: " << runtime::resolveThreads(0)
+              << " (override with FEDGPO_THREADS)\n";
     std::cout << "paper reports: " << paper_claim << "\n\n";
 }
 

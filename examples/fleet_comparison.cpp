@@ -18,6 +18,7 @@
 #include "optim/fedex.h"
 #include "optim/fixed.h"
 #include "optim/genetic.h"
+#include "runtime/runtime_config.h"
 #include "util/table.h"
 
 using namespace fedgpo;
@@ -39,7 +40,9 @@ main()
 
     std::cout << "Comparing 6 policies on " << scenario.n_devices
               << " devices (" << warmup << " warmup + " << rounds
-              << " measured rounds each; this takes a few minutes)\n\n";
+              << " measured rounds each; this takes a few minutes)\n";
+    std::cout << "Runtime: " << runtime::resolveThreads(0)
+              << " worker thread(s) (override with FEDGPO_THREADS)\n\n";
 
     std::vector<std::unique_ptr<optim::ParamOptimizer>> policies;
     policies.push_back(std::make_unique<optim::FixedOptimizer>(

@@ -13,6 +13,7 @@
 #include "data/synthetic.h"
 #include "exp/campaign.h"
 #include "fl/simulator.h"
+#include "runtime/runtime_config.h"
 #include "util/table.h"
 
 using namespace fedgpo;
@@ -20,6 +21,9 @@ using namespace fedgpo;
 int
 main()
 {
+    std::cout << "Runtime: " << runtime::resolveThreads(0)
+              << " worker thread(s) (override with FEDGPO_THREADS)\n\n";
+
     // 1. Show what Dirichlet(0.1) does to the per-device label mix.
     {
         util::Rng rng(4);

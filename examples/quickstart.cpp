@@ -30,7 +30,10 @@ main()
 
     fl::FlSimulator sim(config);
     std::cout << "Fleet: " << sim.numDevices() << " devices, model has "
-              << sim.globalModel().paramCount() << " parameters\n\n";
+              << sim.globalModel().paramCount() << " parameters\n";
+    std::cout << "Runtime: " << sim.threads()
+              << " worker thread(s) (override with FEDGPO_THREADS; "
+                 "results are thread-count-invariant)\n\n";
 
     // 2. Create the FedGPO policy (paper defaults: gamma=0.9, mu=0.1,
     //    epsilon=0.1).

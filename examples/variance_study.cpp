@@ -18,6 +18,7 @@
 #include "optim/callback_policy.h"
 #include "optim/fixed.h"
 #include "optim/oracle.h"
+#include "runtime/runtime_config.h"
 #include "util/table.h"
 
 using namespace fedgpo;
@@ -25,6 +26,9 @@ using namespace fedgpo;
 int
 main()
 {
+    std::cout << "Runtime: " << runtime::resolveThreads(0)
+              << " worker thread(s) (override with FEDGPO_THREADS)\n\n";
+
     // 1. Single-device view: the same work under increasing interference.
     {
         auto model = models::buildModel(models::Workload::CnnMnist, 7);

@@ -23,8 +23,9 @@ Client::stepRuntime(const device::NetworkModel &network)
 }
 
 Client::UpdateResult
-Client::localTrain(nn::Model &scratch, const data::Dataset &dataset,
-                   const PerDeviceParams &params, double lr)
+Client::localTrain(nn::Model &scratch, util::Rng &rng,
+                   const data::Dataset &dataset,
+                   const PerDeviceParams &params, double lr) const
 {
     assert(params.batch >= 1 && params.epochs >= 1);
     assert(!shard_.empty());
@@ -45,7 +46,7 @@ Client::localTrain(nn::Model &scratch, const data::Dataset &dataset,
     std::size_t steps = 0;
     const std::size_t b = static_cast<std::size_t>(params.batch);
     for (int epoch = 0; epoch < params.epochs; ++epoch) {
-        rng_.shuffle(order);
+        rng.shuffle(order);
         for (std::size_t start = 0; start < order.size(); start += b) {
             const std::size_t end = std::min(start + b, order.size());
             batch_idx.assign(order.begin() + static_cast<long>(start),

@@ -75,14 +75,23 @@ class Client
      * FedAvg ClientUpdate (Algorithm 1): split the shard into batches of
      * size B, run E local epochs of SGD, return the trained weights.
      *
+     * Both the scratch model and the training RNG are injected so the
+     * runtime can execute ClientUpdates concurrently: each worker brings
+     * its own scratch model, and the simulator pre-splits one RNG per
+     * (round, client) on the caller thread before dispatch, making the
+     * result independent of scheduling. Const: training touches no client
+     * state beyond reading the shard.
+     *
      * @param scratch  Model pre-loaded with the current global weights;
      *                 its parameters are mutated in place.
+     * @param rng      Training stream (epoch shuffle order).
      * @param dataset  Shared training data store.
      * @param params   Per-device (B, E).
      * @param lr       SGD learning rate eta.
      */
-    UpdateResult localTrain(nn::Model &scratch, const data::Dataset &dataset,
-                            const PerDeviceParams &params, double lr);
+    UpdateResult localTrain(nn::Model &scratch, util::Rng &rng,
+                            const data::Dataset &dataset,
+                            const PerDeviceParams &params, double lr) const;
 
   private:
     std::size_t id_;

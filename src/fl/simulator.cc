@@ -7,6 +7,7 @@
 #include "data/synthetic.h"
 #include "device/cost_model.h"
 #include "device/power_model.h"
+#include "runtime/runtime_config.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -65,15 +66,23 @@ FlSimulator::FlSimulator(const FlConfig &config)
                                   all.numClasses());
     }
 
-    // Global + scratch models from the same init seed (identical w_0).
     global_model_ = models::buildModel(config_.workload, config_.seed ^ 7);
-    scratch_model_ = models::buildModel(config_.workload, config_.seed ^ 7);
     census_ = global_model_->census();
     train_flops_ = global_model_->trainFlopsPerSample();
     param_bytes_ = global_model_->paramBytes();
     global_weights_ = global_model_->saveParams();
     lr_ = config_.lr > 0.0 ? config_.lr
                            : models::defaultLearningRate(config_.workload);
+
+    // Execution engine: a fixed-size worker pool plus one lazily built
+    // scratch model per worker. Scratch init seeds are irrelevant — every
+    // ClientUpdate starts by loading the global weights.
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        runtime::resolveThreads(config_.threads));
+    workers_ = std::make_unique<runtime::WorkerContextPool>(
+        pool_->size(), [workload = config_.workload, seed = config_.seed] {
+            return models::buildModel(workload, seed ^ 7);
+        });
 
     // Partition the training data over the fleet.
     util::Rng part_rng = rng_.split(2);
@@ -167,6 +176,17 @@ FlSimulator::runRoundWithParams(const GlobalParams &params)
     return executeRound(selected, per_device);
 }
 
+util::Rng
+FlSimulator::trainRng(std::size_t client_id) const
+{
+    // A fresh chain Rng(seed') -> split(round) -> split(client) depends on
+    // nothing consumed elsewhere; the xor constant keeps the root state
+    // distinct from the selection/data/partition streams of rng_.
+    util::Rng root(config_.seed ^ 0x7452414e474eULL); // "TRaNGN"
+    util::Rng round_stream = root.split(static_cast<std::uint64_t>(round_));
+    return round_stream.split(client_id);
+}
+
 RoundResult
 FlSimulator::executeRound(const std::vector<std::size_t> &selected,
                           const std::vector<PerDeviceParams> &params)
@@ -177,17 +197,31 @@ FlSimulator::executeRound(const std::vector<std::size_t> &selected,
 
     const auto &cost_const = device::costFor(config_.workload);
 
-    // Phase 1: every participant trains locally (real SGD) and its round
-    // cost is modeled.
+    // Phase 1: every participant trains locally (real SGD), fanned out
+    // across the worker pool. Determinism: each client's training RNG is
+    // split from (seed, round, client_id) on this thread before dispatch,
+    // every index writes only its own updates[i] slot, and everything
+    // order-dependent (cost modeling, reduction) happens below in
+    // client-index order on this thread — so the result is bit-identical
+    // to serial execution regardless of scheduling.
     std::vector<Client::UpdateResult> updates(selected.size());
+    std::vector<util::Rng> train_rngs;
+    train_rngs.reserve(selected.size());
+    for (std::size_t id : selected)
+        train_rngs.push_back(trainRng(id));
+    pool_->parallelFor(
+        selected.size(), [&](std::size_t i, std::size_t worker) {
+            nn::Model &scratch = *workers_->acquire(worker).model;
+            scratch.loadParams(global_weights_);
+            updates[i] = clients_[selected[i]].localTrain(
+                scratch, train_rngs[i], train_set_, params[i], lr_);
+        });
+
+    // Model each participant's round cost (analytic, caller thread).
     std::vector<double> times;
     times.reserve(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
-        Client &c = clients_[selected[i]];
-        scratch_model_->loadParams(global_weights_);
-        updates[i] = c.localTrain(*scratch_model_, train_set_, params[i],
-                                  lr_);
-
+        const Client &c = clients_[selected[i]];
         device::LocalWorkSpec work;
         work.train_flops_per_sample = train_flops_;
         work.samples = c.shardSize();

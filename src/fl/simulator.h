@@ -23,6 +23,8 @@
 #include "fl/types.h"
 #include "models/zoo.h"
 #include "optim/optimizer.h"
+#include "runtime/thread_pool.h"
+#include "runtime/worker_context.h"
 #include "util/rng.h"
 
 namespace fedgpo {
@@ -45,6 +47,13 @@ struct FlConfig
     std::uint64_t seed = 42;
     double lr = 0.0;                  //!< 0 = workload default
     std::size_t eval_batch = 64;
+
+    /**
+     * Worker threads for parallel client training (0 = auto: the
+     * FEDGPO_THREADS environment variable, else hardware concurrency).
+     * Purely a host-speed knob: results are bit-identical for any value.
+     */
+    std::size_t threads = 0;
 };
 
 /**
@@ -108,6 +117,9 @@ class FlSimulator
     /** One-way parameter payload in (proxy) bytes. */
     std::size_t paramBytes() const { return param_bytes_; }
 
+    /** Effective worker-thread count of the execution engine. */
+    std::size_t threads() const { return pool_->size(); }
+
   private:
     /** Select k distinct clients uniformly (FedAvg's random S_t). */
     std::vector<std::size_t> selectClients(int k);
@@ -120,12 +132,21 @@ class FlSimulator
     RoundResult executeRound(const std::vector<std::size_t> &selected,
                              const std::vector<PerDeviceParams> &params);
 
+    /**
+     * Training stream for one client in the current round, derived as
+     * split(seed, round, client_id) — a function of (seed, round, client)
+     * only, never of draw order, so parallel and serial rounds consume
+     * identical randomness.
+     */
+    util::Rng trainRng(std::size_t client_id) const;
+
     FlConfig config_;
     util::Rng rng_;
     data::Dataset train_set_;
     data::Dataset test_set_;
     std::unique_ptr<nn::Model> global_model_;
-    std::unique_ptr<nn::Model> scratch_model_;
+    std::unique_ptr<runtime::ThreadPool> pool_;
+    std::unique_ptr<runtime::WorkerContextPool> workers_;
     nn::LayerCensus census_;
     std::vector<Client> clients_;
     device::NetworkModel network_model_;

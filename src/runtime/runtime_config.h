@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime (host-parallelism) configuration for the simulator.
+ *
+ * The execution engine is purely a host-side concern: it changes how fast
+ * a round computes, never what it computes. Modeled time and energy come
+ * from the analytic device model, so the thread count must be invisible in
+ * every result — see ThreadPool and FlSimulator for how determinism is
+ * preserved.
+ */
+
+#ifndef FEDGPO_RUNTIME_RUNTIME_CONFIG_H_
+#define FEDGPO_RUNTIME_RUNTIME_CONFIG_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <thread>
+
+namespace fedgpo {
+namespace runtime {
+
+/**
+ * Host execution configuration.
+ */
+struct RuntimeConfig
+{
+    /**
+     * Worker threads for client training. 0 = auto: the FEDGPO_THREADS
+     * environment variable if set, otherwise the hardware concurrency.
+     */
+    std::size_t threads = 0;
+};
+
+/**
+ * Resolve a requested thread count to the effective one.
+ *
+ * Priority: an explicit positive request wins; then a positive integer in
+ * the FEDGPO_THREADS environment variable; then
+ * std::thread::hardware_concurrency(); never less than 1.
+ */
+inline std::size_t
+resolveThreads(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("FEDGPO_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+} // namespace runtime
+} // namespace fedgpo
+
+#endif // FEDGPO_RUNTIME_RUNTIME_CONFIG_H_

@@ -1,0 +1,130 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace fedgpo {
+namespace runtime {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads)
+{
+    if (threads_ <= 1)
+        return;
+    workers_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(std::size_t worker_id)
+{
+    for (;;) {
+        std::function<void(std::size_t)> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(worker_id);
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::move(fn));
+    std::future<void> future = task->get_future();
+    if (workers_.empty()) {
+        (*task)();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.emplace_back([task](std::size_t) { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>
+                            &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    // Shared fan-out state: workers claim indices from one atomic counter
+    // (no stealing, no per-index queueing) and the caller blocks until
+    // every runner has drained.
+    struct FanOut
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::size_t runners_left;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto state = std::make_shared<FanOut>();
+    const std::size_t runners = std::min(threads_, n);
+    state->runners_left = runners;
+
+    auto runner = [state, n, &fn](std::size_t worker) {
+        while (!state->failed.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                fn(i, worker);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+                state->failed.store(true, std::memory_order_relaxed);
+                break;
+            }
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (--state->runners_left == 0)
+            state->done.notify_all();
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t r = 0; r < runners; ++r)
+            queue_.emplace_back(runner);
+    }
+    cv_.notify_all();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->runners_left == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace runtime
+} // namespace fedgpo

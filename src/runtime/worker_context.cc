@@ -1,0 +1,38 @@
+#include "runtime/worker_context.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fedgpo {
+namespace runtime {
+
+WorkerContextPool::WorkerContextPool(std::size_t workers,
+                                     ModelFactory factory)
+    : factory_(std::move(factory)), slots_(workers == 0 ? 1 : workers)
+{
+    if (!factory_)
+        throw std::invalid_argument(
+            "WorkerContextPool needs a model factory");
+}
+
+WorkerContext &
+WorkerContextPool::acquire(std::size_t worker)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = slots_.at(worker);
+    if (!slot) {
+        slot = std::make_unique<WorkerContext>();
+        slot->model = factory_();
+    }
+    return *slot;
+}
+
+bool
+WorkerContextPool::materialized(std::size_t worker) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.at(worker) != nullptr;
+}
+
+} // namespace runtime
+} // namespace fedgpo

@@ -37,8 +37,23 @@ class Rng
     /**
      * Derive an independent child generator.
      *
-     * @param tag Distinguishes children split from the same parent state;
-     *            the same (parent state, tag) always yields the same child.
+     * Splitting advances the parent by one draw and seeds the child from
+     * that output mixed with the tag, so (a) the same (parent state, tag)
+     * always yields the same child, (b) children with different tags are
+     * decorrelated, and (c) sequential splits from one parent are
+     * decorrelated even with equal tags.
+     *
+     * This is the backbone of deterministic parallelism: to give each
+     * unit of concurrent work its own stream, chain splits over the
+     * coordinates that identify the unit — e.g. the runtime derives each
+     * client's training stream as
+     * `Rng(seed).split(round).split(client_id)` *before* dispatching to
+     * the thread pool. The stream then depends only on
+     * (seed, round, client), never on scheduling or on how many draws
+     * other streams consumed, so parallel execution is bit-identical to
+     * serial.
+     *
+     * @param tag Distinguishes children split from the same parent state.
      */
     Rng split(std::uint64_t tag);
 

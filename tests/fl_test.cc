@@ -71,7 +71,8 @@ TEST_F(ClientTest, LocalTrainReturnsFullWeightVector)
     Client client(0, device::Category::High, shard_,
                   device::InterferenceProcess(false), util::Rng(2));
     auto model = models::buildModel(models::Workload::CnnMnist, 3);
-    auto result = client.localTrain(*model, dataset_,
+    util::Rng train_rng(20);
+    auto result = client.localTrain(*model, train_rng, dataset_,
                                     PerDeviceParams{8, 1}, 0.05);
     EXPECT_EQ(result.weights.size(), model->paramCount());
     EXPECT_EQ(result.samples, shard_.size());
@@ -85,7 +86,9 @@ TEST_F(ClientTest, TrainingChangesWeights)
                   device::InterferenceProcess(false), util::Rng(4));
     auto model = models::buildModel(models::Workload::CnnMnist, 3);
     auto before = model->saveParams();
-    client.localTrain(*model, dataset_, PerDeviceParams{8, 2}, 0.05);
+    util::Rng train_rng(21);
+    client.localTrain(*model, train_rng, dataset_, PerDeviceParams{8, 2},
+                      0.05);
     auto after = model->saveParams();
     EXPECT_NE(before, after);
 }
@@ -98,9 +101,11 @@ TEST_F(ClientTest, MoreEpochsLowerLocalLoss)
               device::InterferenceProcess(false), util::Rng(5));
     Client c2(0, device::Category::High, shard_,
               device::InterferenceProcess(false), util::Rng(5));
-    auto r1 = c1.localTrain(*model1, dataset_, PerDeviceParams{8, 1}, 0.05);
-    auto r10 =
-        c2.localTrain(*model2, dataset_, PerDeviceParams{8, 10}, 0.05);
+    util::Rng rng1(22), rng10(22);
+    auto r1 = c1.localTrain(*model1, rng1, dataset_, PerDeviceParams{8, 1},
+                            0.05);
+    auto r10 = c2.localTrain(*model2, rng10, dataset_,
+                             PerDeviceParams{8, 10}, 0.05);
     EXPECT_LT(r10.train_loss, r1.train_loss);
 }
 
@@ -118,7 +123,8 @@ TEST_F(ClientTest, BatchLargerThanShardStillTrains)
     Client client(0, device::Category::High, shard_,
                   device::InterferenceProcess(false), util::Rng(7));
     auto model = models::buildModel(models::Workload::CnnMnist, 3);
-    auto result = client.localTrain(*model, dataset_,
+    util::Rng train_rng(23);
+    auto result = client.localTrain(*model, train_rng, dataset_,
                                     PerDeviceParams{32, 1}, 0.05);
     EXPECT_EQ(result.samples, shard_.size());
 }
