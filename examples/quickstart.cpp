@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/fedgpo.h"
+#include "fl/round/trace_writer.h"
 #include "fl/simulator.h"
 #include "util/table.h"
 
@@ -36,8 +37,12 @@ main()
                  "results are thread-count-invariant)\n\n";
 
     // 2. Create the FedGPO policy (paper defaults: gamma=0.9, mu=0.1,
-    //    epsilon=0.1).
+    //    epsilon=0.1), and stream a per-round JSONL trace alongside the
+    //    printed table (see README, "Round traces").
     core::FedGpo policy;
+    fl::round::JsonlTraceWriter trace("quickstart_trace.jsonl");
+    if (trace.ok())
+        sim.addRoundObserver(&trace);
 
     // 3. Drive aggregation rounds. Each call selects K clients, assigns
     //    per-device (B, E), runs real local SGD on every client, models
@@ -51,9 +56,12 @@ main()
                       util::fmt(r.round_time, 1),
                       util::fmt(r.energy_total, 1),
                       std::to_string(r.participants.size()),
-                      std::to_string(r.dropped_count)});
+                      std::to_string(r.droppedCount())});
     }
     table.print(std::cout, "FedGPO-driven federated learning");
+    if (trace.ok())
+        std::cout << "\nWrote " << trace.roundsWritten()
+                  << " round records to quickstart_trace.jsonl\n";
 
     std::cout << "\nQ-table memory: "
               << static_cast<double>(policy.qTableBytes()) / 1e6

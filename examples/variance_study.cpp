@@ -80,7 +80,7 @@ main()
         optim::FixedOptimizer fixed(fl::GlobalParams{8, 10, 20});
         for (int r = 0; r < rounds; ++r) {
             auto res = sim.runRound(fixed);
-            fixed_drops += res.dropped_count;
+            fixed_drops += res.droppedCount();
             fixed_energy += res.energy_total;
             fixed_acc = res.test_accuracy;
         }
@@ -102,7 +102,7 @@ main()
             });
         for (int r = 0; r < rounds; ++r) {
             auto res = sim.runRound(oracle);
-            oracle_drops += res.dropped_count;
+            oracle_drops += res.droppedCount();
             oracle_energy += res.energy_total;
             oracle_acc = res.test_accuracy;
         }

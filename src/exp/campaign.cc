@@ -2,38 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <memory>
 
+#include "fl/round/trace_writer.h"
 #include "util/logging.h"
 
 namespace fedgpo {
 namespace exp {
 
 namespace {
-
-/** Fold one round into the campaign summary. */
-void
-accumulate(CampaignResult &out, const fl::RoundResult &r,
-           fl::ConvergenceTracker &tracker)
-{
-    out.accuracy.push_back(r.test_accuracy);
-    out.round_time.push_back(r.round_time);
-    out.round_energy.push_back(r.energy_total);
-    out.train_loss.push_back(r.train_loss);
-    out.dropped.push_back(r.dropped_count);
-    out.total_energy += r.energy_total;
-    out.total_time += r.round_time;
-    for (const auto &p : r.participants) {
-        out.energy_by_category[static_cast<std::size_t>(p.category)] +=
-            p.cost.e_total;
-    }
-    const bool was_converged = tracker.converged();
-    tracker.add(r.test_accuracy);
-    if (!was_converged && tracker.converged()) {
-        out.converged_round = tracker.convergedRound();
-        out.time_to_convergence = out.total_time;
-        out.energy_to_convergence = out.total_energy;
-    }
-}
 
 void
 finalize(CampaignResult &out)
@@ -47,7 +26,88 @@ finalize(CampaignResult &out)
     }
 }
 
+/**
+ * JSONL trace writer for this campaign when FEDGPO_TRACE_DIR is set
+ * (file name derived from scenario + policy), else null.
+ */
+std::unique_ptr<fl::round::JsonlTraceWriter>
+makeTraceWriter(const std::string &scenario, const std::string &policy)
+{
+    const char *dir = std::getenv("FEDGPO_TRACE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return nullptr;
+    std::string stem = scenario + "_" + policy;
+    for (char &c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '-';
+    }
+    auto writer = std::make_unique<fl::round::JsonlTraceWriter>(
+        std::string(dir) + "/" + stem + ".jsonl");
+    if (!writer->ok()) {
+        util::logWarn("campaign: cannot open trace file under " +
+                      std::string(dir));
+        return nullptr;
+    }
+    return writer;
+}
+
+/**
+ * Drive `rounds` rounds with the campaign trace observer (and optional
+ * JSONL writer) attached; shared by the policy-driven and fixed runners.
+ */
+template <typename RunRound>
+CampaignResult
+runObserved(const Scenario &scenario, const std::string &policy_name,
+            int rounds, fl::FlSimulator &sim, RunRound &&run_round)
+{
+    assert(rounds > 0);
+    fl::ConvergenceTracker tracker;
+    CampaignResult out;
+    out.policy = policy_name;
+    out.scenario = scenario.name;
+
+    CampaignTraceObserver observer(out, tracker);
+    sim.addRoundObserver(&observer);
+    auto trace = makeTraceWriter(scenario.name, policy_name);
+    if (trace)
+        sim.addRoundObserver(trace.get());
+
+    for (int r = 0; r < rounds; ++r)
+        run_round(sim);
+
+    if (trace)
+        sim.removeRoundObserver(trace.get());
+    sim.removeRoundObserver(&observer);
+    finalize(out);
+    return out;
+}
+
 } // namespace
+
+void
+CampaignTraceObserver::onRoundEnd(const fl::RoundResult &r)
+{
+    out_.accuracy.push_back(r.test_accuracy);
+    out_.round_time.push_back(r.round_time);
+    out_.round_energy.push_back(r.energy_total);
+    out_.train_loss.push_back(r.train_loss);
+    out_.dropped.push_back(r.droppedCount());
+    out_.dropped_straggler.push_back(r.dropped_straggler);
+    out_.dropped_diverged.push_back(r.dropped_diverged);
+    out_.total_energy += r.energy_total;
+    out_.total_time += r.round_time;
+    for (const auto &p : r.participants) {
+        out_.energy_by_category[static_cast<std::size_t>(p.category)] +=
+            p.cost.e_total;
+    }
+    const bool was_converged = tracker_.converged();
+    tracker_.add(r.test_accuracy);
+    if (!was_converged && tracker_.converged()) {
+        out_.converged_round = tracker_.convergedRound();
+        out_.time_to_convergence = out_.total_time;
+        out_.energy_to_convergence = out_.total_energy;
+    }
+}
 
 double
 CampaignResult::ppw() const
@@ -103,16 +163,11 @@ CampaignResult
 runCampaign(const Scenario &scenario, optim::ParamOptimizer &policy,
             int rounds)
 {
-    assert(rounds > 0);
     fl::FlSimulator sim(scenario.toFlConfig());
-    fl::ConvergenceTracker tracker;
-    CampaignResult out;
-    out.policy = policy.name();
-    out.scenario = scenario.name;
-    for (int r = 0; r < rounds; ++r)
-        accumulate(out, sim.runRound(policy), tracker);
-    finalize(out);
-    return out;
+    return runObserved(scenario, policy.name(), rounds, sim,
+                       [&policy](fl::FlSimulator &s) {
+                           s.runRound(policy);
+                       });
 }
 
 CampaignResult
@@ -134,16 +189,11 @@ CampaignResult
 runCampaignFixed(const Scenario &scenario, const fl::GlobalParams &params,
                  int rounds)
 {
-    assert(rounds > 0);
     fl::FlSimulator sim(scenario.toFlConfig());
-    fl::ConvergenceTracker tracker;
-    CampaignResult out;
-    out.policy = "Fixed " + params.toString();
-    out.scenario = scenario.name;
-    for (int r = 0; r < rounds; ++r)
-        accumulate(out, sim.runRoundWithParams(params), tracker);
-    finalize(out);
-    return out;
+    return runObserved(scenario, "Fixed " + params.toString(), rounds, sim,
+                       [&params](fl::FlSimulator &s) {
+                           s.runRoundWithParams(params);
+                       });
 }
 
 fl::GlobalParams

@@ -16,6 +16,7 @@
 
 #include "exp/scenario.h"
 #include "fl/convergence.h"
+#include "fl/round/observer.h"
 #include "optim/optimizer.h"
 
 namespace fedgpo {
@@ -29,12 +30,15 @@ struct CampaignResult
     std::string policy;
     std::string scenario;
 
-    // Per-round traces.
+    // Per-round traces (accumulated by a fl::round::RoundObserver over
+    // the engine's event stream).
     std::vector<double> accuracy;
     std::vector<double> round_time;
     std::vector<double> round_energy;
     std::vector<double> train_loss;
-    std::vector<std::size_t> dropped;
+    std::vector<std::size_t> dropped;           //!< total drops per round
+    std::vector<std::size_t> dropped_straggler; //!< deadline drops
+    std::vector<std::size_t> dropped_diverged;  //!< non-finite rejections
 
     // Aggregates.
     double total_energy = 0.0;      //!< J over the whole campaign
@@ -81,7 +85,35 @@ struct CampaignResult
 };
 
 /**
+ * Round observer that folds the engine's event stream into a
+ * CampaignResult as rounds complete — the single instrumentation path
+ * shared by the campaign runners, the figure benches, and examples
+ * (no post-hoc copying out of RoundResult).
+ */
+class CampaignTraceObserver : public fl::round::RoundObserver
+{
+  public:
+    /** Both references must outlive the observer's registration. */
+    CampaignTraceObserver(CampaignResult &out,
+                          fl::ConvergenceTracker &tracker)
+        : out_(out), tracker_(tracker)
+    {
+    }
+
+    void onRoundEnd(const fl::RoundResult &result) override;
+
+  private:
+    CampaignResult &out_;
+    fl::ConvergenceTracker &tracker_;
+};
+
+/**
  * Run `rounds` aggregation rounds of the scenario under the policy.
+ *
+ * When the FEDGPO_TRACE_DIR environment variable is set, every campaign
+ * additionally streams a per-round JSONL trace
+ * (fl::round::JsonlTraceWriter) into that directory, named
+ * `<scenario>_<policy>.jsonl`.
  */
 CampaignResult runCampaign(const Scenario &scenario,
                            optim::ParamOptimizer &policy, int rounds);

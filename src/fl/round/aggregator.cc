@@ -1,0 +1,124 @@
+#include "fl/round/aggregator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+namespace {
+
+/** Gather stats over the kept participants and their sample mass. */
+AggregationStats
+keptStats(const RoundContext &ctx)
+{
+    AggregationStats stats;
+    for (std::size_t i = 0; i < ctx.result.participants.size(); ++i) {
+        const ClientRoundReport &p = ctx.result.participants[i];
+        if (p.dropped)
+            continue;
+        ++stats.contributors;
+        stats.samples += ctx.updates[i].samples;
+        if (p.update_scale < 1.0)
+            ++stats.scaled;
+    }
+    return stats;
+}
+
+} // namespace
+
+AggregationStats
+FedAvgAggregator::aggregate(RoundContext &ctx)
+{
+    assert(ctx.global_weights != nullptr);
+    assert(ctx.updates.size() == ctx.result.participants.size());
+    std::vector<float> &gw = *ctx.global_weights;
+
+    const AggregationStats stats = keptStats(ctx);
+    if (stats.samples == 0)
+        return stats;
+
+    std::vector<double> acc(gw.size(), 0.0);
+    for (std::size_t i = 0; i < ctx.updates.size(); ++i) {
+        const ClientRoundReport &p = ctx.result.participants[i];
+        if (p.dropped)
+            continue;
+        const double wgt = static_cast<double>(ctx.updates[i].samples) /
+                           static_cast<double>(stats.samples);
+        const auto &wv = ctx.updates[i].weights;
+        assert(wv.size() == acc.size());
+        if (p.update_scale == 1.0) {
+            // Hot path, kept byte-for-byte identical to the monolithic
+            // round loop: acc += wgt * w.
+            for (std::size_t j = 0; j < acc.size(); ++j)
+                acc[j] += wgt * wv[j];
+        } else {
+            // Partial contribution: blend toward the previous globals.
+            const double s = p.update_scale;
+            for (std::size_t j = 0; j < acc.size(); ++j)
+                acc[j] += wgt * (gw[j] + s * (wv[j] - gw[j]));
+        }
+    }
+    for (std::size_t j = 0; j < acc.size(); ++j)
+        gw[j] = static_cast<float>(acc[j]);
+    if (ctx.global_model != nullptr)
+        ctx.global_model->loadParams(gw);
+    return stats;
+}
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
+    : trim_fraction_(std::clamp(trim_fraction, 0.0, 0.5))
+{
+}
+
+AggregationStats
+TrimmedMeanAggregator::aggregate(RoundContext &ctx)
+{
+    assert(ctx.global_weights != nullptr);
+    assert(ctx.updates.size() == ctx.result.participants.size());
+    std::vector<float> &gw = *ctx.global_weights;
+
+    const AggregationStats stats = keptStats(ctx);
+    if (stats.contributors == 0)
+        return stats;
+
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < ctx.result.participants.size(); ++i)
+        if (!ctx.result.participants[i].dropped)
+            kept.push_back(i);
+
+    const std::size_t n = kept.size();
+    std::size_t trim =
+        static_cast<std::size_t>(trim_fraction_ * static_cast<double>(n));
+    if (2 * trim >= n)
+        trim = (n - 1) / 2;
+
+    std::vector<double> column(n);
+    for (std::size_t j = 0; j < gw.size(); ++j) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const std::size_t i = kept[c];
+            const ClientRoundReport &p = ctx.result.participants[i];
+            const double w = ctx.updates[i].weights[j];
+            column[c] = p.update_scale == 1.0
+                            ? w
+                            : gw[j] + p.update_scale * (w - gw[j]);
+        }
+        std::sort(column.begin(), column.end());
+        double sum = 0.0;
+        for (std::size_t c = trim; c < n - trim; ++c)
+            sum += column[c];
+        gw[j] = static_cast<float>(sum /
+                                   static_cast<double>(n - 2 * trim));
+    }
+    if (ctx.global_model != nullptr)
+        ctx.global_model->loadParams(gw);
+    return stats;
+}
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pluggable server-side aggregation strategies for the round pipeline.
+ *
+ * An Aggregator combines the kept participant updates of one round into
+ * new global weights. The default FedAvgAggregator reproduces Algorithm
+ * 1's sample-weighted average bit-for-bit; TrimmedMeanAggregator is a
+ * robust variant that survives poisoned or outlier updates by trimming
+ * coordinate-wise extremes before averaging.
+ */
+
+#ifndef FEDGPO_FL_ROUND_AGGREGATOR_H_
+#define FEDGPO_FL_ROUND_AGGREGATOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "fl/round/round_context.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+/**
+ * Statistics the Aggregate stage reports to observers.
+ */
+struct AggregationStats
+{
+    std::size_t contributors = 0; //!< updates blended into the global model
+    std::size_t samples = 0;      //!< their total sample mass
+    std::size_t scaled = 0;       //!< contributors with update_scale < 1
+};
+
+/**
+ * Strategy that folds the round's kept updates into the global weights.
+ *
+ * Contract: reads ctx.updates and ctx.result.participants (drop flags and
+ * update_scale already final), writes *ctx.global_weights, and loads the
+ * new weights into *ctx.global_model when it is non-null. When no update
+ * is kept the global weights must be left untouched. A participant with
+ * update_scale s < 1 contributes g + s * (w - g) (its update blended
+ * toward the previous global weights g) instead of its raw weights w.
+ */
+class Aggregator
+{
+  public:
+    virtual ~Aggregator() = default;
+
+    /** Display name ("fedavg", "trimmed_mean"). */
+    virtual std::string name() const = 0;
+
+    /** Combine kept updates into new global weights. */
+    virtual AggregationStats aggregate(RoundContext &ctx) = 0;
+};
+
+/**
+ * FedAvg (Algorithm 1): sample-weighted average over kept updates,
+ * accumulated in double. With all update_scale == 1 this is bit-identical
+ * to the pre-engine monolithic round loop.
+ */
+class FedAvgAggregator : public Aggregator
+{
+  public:
+    std::string name() const override { return "fedavg"; }
+    AggregationStats aggregate(RoundContext &ctx) override;
+};
+
+/**
+ * Coordinate-wise trimmed mean: for every weight coordinate, the highest
+ * and lowest trim_fraction of contributor values are discarded and the
+ * rest averaged (unweighted — sample weighting would let a poisoned
+ * client regain influence through claimed sample counts).
+ */
+class TrimmedMeanAggregator : public Aggregator
+{
+  public:
+    /**
+     * @param trim_fraction Fraction of contributors trimmed from EACH
+     *                      end, clamped so at least one value survives.
+     */
+    explicit TrimmedMeanAggregator(double trim_fraction = 0.2);
+
+    std::string name() const override { return "trimmed_mean"; }
+    AggregationStats aggregate(RoundContext &ctx) override;
+
+    double trimFraction() const { return trim_fraction_; }
+
+  private:
+    double trim_fraction_;
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_AGGREGATOR_H_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Observer interface over the round pipeline: one typed event stream that
+ * campaign runners, figure benches, and trace writers consume instead of
+ * each re-deriving numbers from RoundResult after the fact.
+ *
+ * Events fire on the caller thread, in a fixed order per round:
+ * onRoundStart, one onStage per pipeline stage (in stage order), one
+ * onClientReport per participant (after Energy, when reports are final),
+ * onAggregate (after the Aggregate stage), and onRoundEnd. Observers must
+ * not mutate the context; wall-clock timings are host-side
+ * instrumentation only and never feed back into modeled results.
+ */
+
+#ifndef FEDGPO_FL_ROUND_OBSERVER_H_
+#define FEDGPO_FL_ROUND_OBSERVER_H_
+
+#include <cstddef>
+
+#include "fl/round/aggregator.h"
+#include "fl/round/round_context.h"
+#include "fl/types.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+/**
+ * The engine's stage sequence (Algorithm 1, decomposed).
+ */
+enum class Stage
+{
+    Select,    //!< choose K participants + per-device (B, E)
+    Train,     //!< real local SGD, fanned over the worker pool
+    Cost,      //!< analytic per-device time/energy (Eqs. 2-3)
+    Straggler, //!< StragglerPolicy: drops/scaling + round gating time
+    Aggregate, //!< divergence rejection + Aggregator
+    Energy,    //!< wait energy + fleet-wide bookkeeping (Eqs. 4-6)
+    Evaluate,  //!< test-set accuracy/loss + train-loss summary
+};
+
+/** Number of pipeline stages. */
+inline constexpr std::size_t kStageCount = 7;
+
+/** Short stable label for a stage ("select", "train", ...). */
+const char *stageName(Stage stage);
+
+/**
+ * Receiver of round-pipeline events. All handlers default to no-ops so
+ * observers override only what they consume.
+ */
+class RoundObserver
+{
+  public:
+    virtual ~RoundObserver() = default;
+
+    /** Selection is done; the round body is about to run. */
+    virtual void
+    onRoundStart(const RoundContext &ctx)
+    {
+        (void)ctx;
+    }
+
+    /**
+     * One pipeline stage finished. @p wall_ms is host wall-clock time of
+     * the stage in milliseconds (instrumentation only — modeled time
+     * lives in RoundResult::round_time).
+     */
+    virtual void
+    onStage(const RoundContext &ctx, Stage stage, double wall_ms)
+    {
+        (void)ctx;
+        (void)stage;
+        (void)wall_ms;
+    }
+
+    /** One participant's report is final (drops, energy, scale set). */
+    virtual void
+    onClientReport(const RoundContext &ctx, const ClientRoundReport &report)
+    {
+        (void)ctx;
+        (void)report;
+    }
+
+    /** The Aggregate stage finished. */
+    virtual void
+    onAggregate(const RoundContext &ctx, const AggregationStats &stats)
+    {
+        (void)ctx;
+        (void)stats;
+    }
+
+    /** The round is complete; the result is fully populated. */
+    virtual void
+    onRoundEnd(const RoundResult &result)
+    {
+        (void)result;
+    }
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_OBSERVER_H_

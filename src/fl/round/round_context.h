@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The mutable state of one aggregation round as it flows through the
+ * RoundEngine's stage sequence (Select -> Train -> Cost -> Straggler ->
+ * Aggregate -> Energy -> Evaluate).
+ *
+ * The context points (non-owning) into the simulator that spawned the
+ * round; stage strategies read and mutate only their slice of it. Unit
+ * tests exercise an Aggregator or StragglerPolicy by filling just the
+ * fields that strategy touches (participants, updates, global weights)
+ * and leaving the rest null.
+ */
+
+#ifndef FEDGPO_FL_ROUND_ROUND_CONTEXT_H_
+#define FEDGPO_FL_ROUND_ROUND_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "device/cost_model.h"
+#include "fl/client.h"
+#include "fl/types.h"
+#include "nn/model.h"
+#include "runtime/thread_pool.h"
+#include "runtime/worker_context.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+struct RoundContext
+{
+    /** 1-based round number (set by the simulator before the run). */
+    int round = 0;
+
+    // ---- Round inputs, filled by the Select stage. ---------------------
+
+    std::vector<std::size_t> selected;   //!< fleet indices of participants
+    std::vector<PerDeviceParams> params; //!< parallel to `selected`
+    /**
+     * Pre-split training streams, parallel to `selected`. Derived from
+     * (seed, round, client) on the caller thread before dispatch so the
+     * Train stage is scheduling-independent (see DESIGN.md, "Runtime &
+     * threading model").
+     */
+    std::vector<util::Rng> train_rngs;
+
+    // ---- Simulator state (non-owning). ---------------------------------
+
+    std::vector<Client> *clients = nullptr;        //!< whole fleet
+    const data::Dataset *train_set = nullptr;
+    std::vector<float> *global_weights = nullptr;  //!< server weights
+    nn::Model *global_model = nullptr;             //!< kept in sync
+    runtime::ThreadPool *pool = nullptr;
+    runtime::WorkerContextPool *workers = nullptr;
+    const device::WorkloadCost *cost_const = nullptr;
+    std::uint64_t train_flops = 0; //!< proxy-model FLOPs per sample
+    std::size_t param_bytes = 0;   //!< one-way payload
+    double lr = 0.0;               //!< effective learning rate
+
+    // ---- Hooks back into the simulator. --------------------------------
+
+    /** Fills `selected`, `params`, and `train_rngs` (the Select stage). */
+    std::function<void(RoundContext &)> select;
+
+    /** Evaluates the global model on the held-out test set. */
+    std::function<nn::Model::EvalResult()> evaluate;
+
+    // ---- Stage outputs. ------------------------------------------------
+
+    /** Locally trained weights, parallel to `selected` (Train stage). */
+    std::vector<Client::UpdateResult> updates;
+
+    /** The round's result, accumulated stage by stage. */
+    RoundResult result;
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_ROUND_CONTEXT_H_

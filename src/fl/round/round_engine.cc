@@ -1,0 +1,278 @@
+#include "fl/round/round_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "device/power_model.h"
+#include "util/logging.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Select:
+        return "select";
+      case Stage::Train:
+        return "train";
+      case Stage::Cost:
+        return "cost";
+      case Stage::Straggler:
+        return "straggler";
+      case Stage::Aggregate:
+        return "aggregate";
+      case Stage::Energy:
+        return "energy";
+      case Stage::Evaluate:
+        return "evaluate";
+    }
+    return "unknown";
+}
+
+std::size_t
+rejectDivergedUpdates(RoundContext &ctx)
+{
+    assert(ctx.updates.size() == ctx.result.participants.size());
+    std::size_t rejected = 0;
+    for (std::size_t i = 0; i < ctx.updates.size(); ++i) {
+        ClientRoundReport &p = ctx.result.participants[i];
+        if (p.dropped)
+            continue;
+        bool finite = true;
+        for (float v : ctx.updates[i].weights) {
+            if (!std::isfinite(v)) {
+                finite = false;
+                break;
+            }
+        }
+        if (!finite) {
+            p.dropped = true;
+            p.drop_reason = DropReason::Diverged;
+            ++ctx.result.dropped_diverged;
+            ++rejected;
+            util::logWarn("round " + std::to_string(ctx.round) +
+                          ": client " + std::to_string(p.client_id) +
+                          " update diverged; rejected");
+        }
+    }
+    return rejected;
+}
+
+RoundEngine::RoundEngine(std::unique_ptr<Aggregator> aggregator,
+                         std::unique_ptr<StragglerPolicy> straggler)
+    : aggregator_(std::move(aggregator)), straggler_(std::move(straggler))
+{
+    assert(aggregator_ != nullptr && straggler_ != nullptr);
+}
+
+void
+RoundEngine::setAggregator(std::unique_ptr<Aggregator> aggregator)
+{
+    assert(aggregator != nullptr);
+    aggregator_ = std::move(aggregator);
+}
+
+void
+RoundEngine::setStragglerPolicy(std::unique_ptr<StragglerPolicy> straggler)
+{
+    assert(straggler != nullptr);
+    straggler_ = std::move(straggler);
+}
+
+void
+RoundEngine::addObserver(RoundObserver *observer)
+{
+    assert(observer != nullptr);
+    observers_.push_back(observer);
+}
+
+void
+RoundEngine::removeObserver(RoundObserver *observer)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+RoundResult
+RoundEngine::run(RoundContext &ctx)
+{
+    ctx.result.round = ctx.round;
+
+    using clock = std::chrono::steady_clock;
+    auto timed = [&](Stage stage, auto &&stage_fn) {
+        const auto t0 = clock::now();
+        stage_fn(ctx);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+        for (RoundObserver *o : observers_)
+            o->onStage(ctx, stage, wall_ms);
+    };
+
+    timed(Stage::Select, [this](RoundContext &c) { stageSelect(c); });
+    for (RoundObserver *o : observers_)
+        o->onRoundStart(ctx);
+    timed(Stage::Train, [this](RoundContext &c) { stageTrain(c); });
+    timed(Stage::Cost, [this](RoundContext &c) { stageCost(c); });
+    timed(Stage::Straggler,
+          [this](RoundContext &c) { stageStraggler(c); });
+    timed(Stage::Aggregate,
+          [this](RoundContext &c) { stageAggregate(c); });
+    timed(Stage::Energy, [this](RoundContext &c) { stageEnergy(c); });
+    for (RoundObserver *o : observers_)
+        for (const ClientRoundReport &p : ctx.result.participants)
+            o->onClientReport(ctx, p);
+    timed(Stage::Evaluate, [this](RoundContext &c) { stageEvaluate(c); });
+
+    for (RoundObserver *o : observers_)
+        o->onRoundEnd(ctx.result);
+    return ctx.result;
+}
+
+void
+RoundEngine::stageSelect(RoundContext &ctx)
+{
+    if (ctx.select)
+        ctx.select(ctx);
+    assert(ctx.selected.size() == ctx.params.size());
+    assert(ctx.train_rngs.size() == ctx.selected.size());
+}
+
+void
+RoundEngine::stageTrain(RoundContext &ctx)
+{
+    assert(ctx.pool != nullptr && ctx.workers != nullptr);
+    assert(ctx.clients != nullptr && ctx.train_set != nullptr);
+    assert(ctx.global_weights != nullptr);
+
+    // Every participant trains locally (real SGD), fanned out across the
+    // worker pool. Determinism: each client's training RNG was split from
+    // (seed, round, client_id) before dispatch, every index writes only
+    // its own updates[i] slot, and everything order-dependent (cost
+    // modeling, reduction) happens in later stages in client-index order
+    // on this thread — so the result is bit-identical to serial execution
+    // regardless of scheduling.
+    ctx.updates.resize(ctx.selected.size());
+    ctx.pool->parallelFor(
+        ctx.selected.size(), [&ctx](std::size_t i, std::size_t worker) {
+            nn::Model &scratch = *ctx.workers->acquire(worker).model;
+            scratch.loadParams(*ctx.global_weights);
+            ctx.updates[i] = (*ctx.clients)[ctx.selected[i]].localTrain(
+                scratch, ctx.train_rngs[i], *ctx.train_set, ctx.params[i],
+                ctx.lr);
+        });
+}
+
+void
+RoundEngine::stageCost(RoundContext &ctx)
+{
+    assert(ctx.clients != nullptr && ctx.cost_const != nullptr);
+
+    // Model each participant's round cost (analytic, caller thread).
+    for (std::size_t i = 0; i < ctx.selected.size(); ++i) {
+        const Client &c = (*ctx.clients)[ctx.selected[i]];
+        device::LocalWorkSpec work;
+        work.train_flops_per_sample = ctx.train_flops;
+        work.samples = c.shardSize();
+        work.batch = ctx.params[i].batch;
+        work.epochs = ctx.params[i].epochs;
+        work.param_bytes = ctx.param_bytes;
+
+        ClientRoundReport report;
+        report.client_id = c.id();
+        report.category = c.category();
+        report.params = ctx.params[i];
+        report.interference = c.interference();
+        report.network = c.network();
+        report.samples = c.shardSize();
+        report.train_loss = ctx.updates[i].train_loss;
+        report.cost = device::clientRoundCost(
+            device::profileFor(c.category()), *ctx.cost_const, work,
+            c.interference(), c.network());
+        ctx.result.participants.push_back(std::move(report));
+    }
+}
+
+void
+RoundEngine::stageStraggler(RoundContext &ctx)
+{
+    ctx.result.round_time = straggler_->apply(ctx);
+}
+
+void
+RoundEngine::stageAggregate(RoundContext &ctx)
+{
+    rejectDivergedUpdates(ctx);
+    const AggregationStats stats = aggregator_->aggregate(ctx);
+    ctx.result.samples_aggregated = stats.samples;
+    for (RoundObserver *o : observers_)
+        o->onAggregate(ctx, stats);
+}
+
+void
+RoundEngine::stageEnergy(RoundContext &ctx)
+{
+    assert(ctx.clients != nullptr);
+    RoundResult &result = ctx.result;
+
+    // Participants that finished early wait for the round's stragglers
+    // with the runtime and connection held open — the redundant energy
+    // adaptive per-device parameters remove (paper Fig. 5). Clients
+    // dropped for divergence waited like everyone else; only
+    // straggler-dropped devices already disconnected at the deadline.
+    for (auto &p : result.participants) {
+        if (p.drop_reason != DropReason::Straggler &&
+            p.cost.t_round < result.round_time) {
+            device::PowerModel power(device::profileFor(p.category));
+            p.cost.e_wait =
+                power.waitPower() * (result.round_time - p.cost.t_round);
+            p.cost.e_total += p.cost.e_wait;
+        }
+    }
+
+    // Fleet-wide energy bookkeeping (Eqs. 4-6).
+    std::vector<bool> participating(ctx.clients->size(), false);
+    for (std::size_t id : ctx.selected)
+        participating[id] = true;
+    for (const auto &p : result.participants)
+        result.energy_participants += p.cost.e_total;
+    for (std::size_t id = 0; id < ctx.clients->size(); ++id) {
+        if (!participating[id]) {
+            device::PowerModel power(
+                device::profileFor((*ctx.clients)[id].category()));
+            result.energy_idle += power.idleEnergy(result.round_time);
+        }
+    }
+    result.energy_total = result.energy_participants + result.energy_idle;
+}
+
+void
+RoundEngine::stageEvaluate(RoundContext &ctx)
+{
+    assert(ctx.evaluate);
+    const nn::Model::EvalResult eval = ctx.evaluate();
+    ctx.result.test_accuracy = eval.accuracy;
+    ctx.result.test_loss = eval.loss;
+
+    double loss_sum = 0.0;
+    std::size_t kept = 0;
+    for (const auto &p : ctx.result.participants) {
+        if (!p.dropped) {
+            loss_sum += p.train_loss;
+            ++kept;
+        }
+    }
+    ctx.result.train_loss =
+        kept > 0 ? loss_sum / static_cast<double>(kept) : 0.0;
+}
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The staged round engine: Algorithm 1's server loop decomposed into an
+ * explicit stage sequence over a RoundContext —
+ *
+ *   Select -> Train -> Cost -> Straggler -> Aggregate -> Energy -> Evaluate
+ *
+ * with the two policy-bearing stages (straggler handling, aggregation)
+ * pluggable and every stage reported to registered RoundObservers. With
+ * the default strategies (FedAvgAggregator + DeadlineDropPolicy) the
+ * engine is bit-identical to the monolithic round loop it replaced,
+ * asserted by tests/round_golden_test.cc.
+ */
+
+#ifndef FEDGPO_FL_ROUND_ROUND_ENGINE_H_
+#define FEDGPO_FL_ROUND_ROUND_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "fl/round/aggregator.h"
+#include "fl/round/observer.h"
+#include "fl/round/round_context.h"
+#include "fl/round/straggler_policy.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+/**
+ * Server-side validation run before any aggregation: updates containing
+ * non-finite values (a client diverged under an aggressive configuration)
+ * are rejected — marked dropped with DropReason::Diverged and counted in
+ * dropped_diverged — so one bad client cannot poison the global model.
+ *
+ * @return Number of updates rejected this call.
+ */
+std::size_t rejectDivergedUpdates(RoundContext &ctx);
+
+/**
+ * Runs rounds as a fixed stage pipeline with pluggable strategies.
+ */
+class RoundEngine
+{
+  public:
+    /** Both strategies are required (non-null). */
+    RoundEngine(std::unique_ptr<Aggregator> aggregator,
+                std::unique_ptr<StragglerPolicy> straggler);
+
+    Aggregator &aggregator() { return *aggregator_; }
+    StragglerPolicy &stragglerPolicy() { return *straggler_; }
+
+    /** Swap the aggregation strategy (takes effect next round). */
+    void setAggregator(std::unique_ptr<Aggregator> aggregator);
+
+    /** Swap the straggler strategy (takes effect next round). */
+    void setStragglerPolicy(std::unique_ptr<StragglerPolicy> straggler);
+
+    /** Register an observer (non-owning; must outlive the engine use). */
+    void addObserver(RoundObserver *observer);
+
+    /** Unregister an observer; unknown pointers are ignored. */
+    void removeObserver(RoundObserver *observer);
+
+    /**
+     * Run one full round over the context. The context must carry all
+     * simulator state pointers plus the select and evaluate hooks; the
+     * result is both returned and left in ctx.result.
+     */
+    RoundResult run(RoundContext &ctx);
+
+  private:
+    void stageSelect(RoundContext &ctx);
+    void stageTrain(RoundContext &ctx);
+    void stageCost(RoundContext &ctx);
+    void stageStraggler(RoundContext &ctx);
+    void stageAggregate(RoundContext &ctx);
+    void stageEnergy(RoundContext &ctx);
+    void stageEvaluate(RoundContext &ctx);
+
+    std::unique_ptr<Aggregator> aggregator_;
+    std::unique_ptr<StragglerPolicy> straggler_;
+    std::vector<RoundObserver *> observers_;
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_ROUND_ENGINE_H_

@@ -1,0 +1,87 @@
+#include "fl/round/straggler_policy.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+namespace {
+
+/** deadline_factor x the median modeled finish time of the round. */
+double
+roundDeadline(const RoundContext &ctx, double deadline_factor)
+{
+    std::vector<double> times;
+    times.reserve(ctx.result.participants.size());
+    for (const auto &p : ctx.result.participants)
+        times.push_back(p.cost.t_round);
+    return deadline_factor * util::quantile(std::move(times), 0.5);
+}
+
+/**
+ * Charge a device stopped at the deadline for the energy it burned until
+ * then: both compute and comm scale with the completed fraction.
+ */
+void
+prorateEnergy(ClientRoundReport &p, double frac)
+{
+    p.cost.e_comp *= frac;
+    p.cost.e_comm *= frac;
+    p.cost.e_total = p.cost.e_comp + p.cost.e_comm;
+}
+
+} // namespace
+
+DeadlineDropPolicy::DeadlineDropPolicy(double deadline_factor)
+    : deadline_factor_(deadline_factor)
+{
+}
+
+double
+DeadlineDropPolicy::apply(RoundContext &ctx)
+{
+    const double deadline = roundDeadline(ctx, deadline_factor_);
+    double round_time = 0.0;
+    for (auto &p : ctx.result.participants) {
+        if (p.cost.t_round > deadline) {
+            p.dropped = true;
+            p.drop_reason = DropReason::Straggler;
+            ++ctx.result.dropped_straggler;
+            prorateEnergy(p, deadline / p.cost.t_round);
+            round_time = std::max(round_time, deadline);
+        } else {
+            round_time = std::max(round_time, p.cost.t_round);
+        }
+    }
+    return round_time;
+}
+
+AcceptPartialPolicy::AcceptPartialPolicy(double deadline_factor)
+    : deadline_factor_(deadline_factor)
+{
+}
+
+double
+AcceptPartialPolicy::apply(RoundContext &ctx)
+{
+    const double deadline = roundDeadline(ctx, deadline_factor_);
+    double round_time = 0.0;
+    for (auto &p : ctx.result.participants) {
+        if (p.cost.t_round > deadline) {
+            const double frac = deadline / p.cost.t_round;
+            p.update_scale = frac;
+            prorateEnergy(p, frac);
+            round_time = std::max(round_time, deadline);
+        } else {
+            round_time = std::max(round_time, p.cost.t_round);
+        }
+    }
+    return round_time;
+}
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo

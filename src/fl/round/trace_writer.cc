@@ -1,0 +1,107 @@
+#include "fl/round/trace_writer.h"
+
+#include <cstdio>
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+namespace {
+
+/** Shortest round-trip-exact double formatting ("%.17g"). */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string &path)
+    : out_(path, std::ios::trunc)
+{
+}
+
+void
+JsonlTraceWriter::onStage(const RoundContext &ctx, Stage stage,
+                          double wall_ms)
+{
+    (void)ctx;
+    stage_ms_[static_cast<std::size_t>(stage)] = wall_ms;
+}
+
+void
+JsonlTraceWriter::onClientReport(const RoundContext &ctx,
+                                 const ClientRoundReport &report)
+{
+    (void)ctx;
+    std::string r = "{\"id\":" + std::to_string(report.client_id);
+    r += ",\"tier\":\"" + device::categoryName(report.category) + "\"";
+    r += ",\"batch\":" + std::to_string(report.params.batch);
+    r += ",\"epochs\":" + std::to_string(report.params.epochs);
+    r += ",\"samples\":" + std::to_string(report.samples);
+    r += ",\"train_loss\":" + num(report.train_loss);
+    r += ",\"t_round\":" + num(report.cost.t_round);
+    r += ",\"e_total\":" + num(report.cost.e_total);
+    r += ",\"e_wait\":" + num(report.cost.e_wait);
+    r += ",\"dropped\":" +
+         std::string(report.dropped ? "true" : "false");
+    r += ",\"reason\":\"" +
+         std::string(dropReasonName(report.drop_reason)) + "\"";
+    r += ",\"update_scale\":" + num(report.update_scale);
+    r += "}";
+    client_records_.push_back(std::move(r));
+}
+
+void
+JsonlTraceWriter::onAggregate(const RoundContext &ctx,
+                              const AggregationStats &stats)
+{
+    (void)ctx;
+    stats_ = stats;
+}
+
+void
+JsonlTraceWriter::onRoundEnd(const RoundResult &result)
+{
+    out_ << "{\"round\":" << result.round;
+    out_ << ",\"stages_ms\":{";
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+        if (s > 0)
+            out_ << ",";
+        out_ << "\"" << stageName(static_cast<Stage>(s))
+             << "\":" << num(stage_ms_[s]);
+    }
+    out_ << "}";
+    out_ << ",\"aggregation\":{\"contributors\":" << stats_.contributors
+         << ",\"samples\":" << stats_.samples
+         << ",\"scaled\":" << stats_.scaled << "}";
+    out_ << ",\"round_time\":" << num(result.round_time);
+    out_ << ",\"test_accuracy\":" << num(result.test_accuracy);
+    out_ << ",\"test_loss\":" << num(result.test_loss);
+    out_ << ",\"train_loss\":" << num(result.train_loss);
+    out_ << ",\"energy_participants\":" << num(result.energy_participants);
+    out_ << ",\"energy_idle\":" << num(result.energy_idle);
+    out_ << ",\"energy_total\":" << num(result.energy_total);
+    out_ << ",\"dropped_straggler\":" << result.dropped_straggler;
+    out_ << ",\"dropped_diverged\":" << result.dropped_diverged;
+    out_ << ",\"clients\":[";
+    for (std::size_t i = 0; i < client_records_.size(); ++i) {
+        if (i > 0)
+            out_ << ",";
+        out_ << client_records_[i];
+    }
+    out_ << "]}\n";
+    out_.flush();
+    ++rounds_written_;
+
+    stage_ms_.fill(0.0);
+    client_records_.clear();
+    stats_ = AggregationStats{};
+}
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RoundObserver that streams the round-event stream to disk as JSON
+ * Lines: one self-contained JSON object per aggregation round, carrying
+ * per-stage host timings, the aggregation stats, the round summary, and
+ * one record per participating client. See README ("Round traces") for
+ * the record schema.
+ */
+
+#ifndef FEDGPO_FL_ROUND_TRACE_WRITER_H_
+#define FEDGPO_FL_ROUND_TRACE_WRITER_H_
+
+#include <array>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fl/round/observer.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+/**
+ * JSONL trace writer. Buffers one round's events and emits a single line
+ * at onRoundEnd; flushes on every line so traces survive a crashed run.
+ */
+class JsonlTraceWriter : public RoundObserver
+{
+  public:
+    /** Opens @p path for writing (truncates). Check ok() afterwards. */
+    explicit JsonlTraceWriter(const std::string &path);
+
+    /** False when the file could not be opened or a write failed. */
+    bool ok() const { return out_.good(); }
+
+    /** Rounds written so far. */
+    std::size_t roundsWritten() const { return rounds_written_; }
+
+    void onStage(const RoundContext &ctx, Stage stage,
+                 double wall_ms) override;
+    void onClientReport(const RoundContext &ctx,
+                        const ClientRoundReport &report) override;
+    void onAggregate(const RoundContext &ctx,
+                     const AggregationStats &stats) override;
+    void onRoundEnd(const RoundResult &result) override;
+
+  private:
+    std::ofstream out_;
+    std::array<double, kStageCount> stage_ms_{};
+    std::vector<std::string> client_records_;
+    AggregationStats stats_;
+    std::size_t rounds_written_ = 0;
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_TRACE_WRITER_H_

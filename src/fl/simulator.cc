@@ -84,6 +84,12 @@ FlSimulator::FlSimulator(const FlConfig &config)
             return models::buildModel(workload, seed ^ 7);
         });
 
+    // Round pipeline with the paper's default strategies.
+    engine_ = std::make_unique<round::RoundEngine>(
+        std::make_unique<round::FedAvgAggregator>(),
+        std::make_unique<round::DeadlineDropPolicy>(
+            config_.deadline_factor));
+
     // Partition the training data over the fleet.
     util::Rng part_rng = rng_.split(2);
     data::Partition shards =
@@ -148,19 +154,52 @@ FlSimulator::predictedRoundTime(std::size_t client_id,
     return cost.t_round;
 }
 
-RoundResult
-FlSimulator::runRound(optim::ParamOptimizer &policy)
+round::RoundContext
+FlSimulator::makeRoundContext()
 {
     // Advance every device's stochastic runtime state once per round.
     for (auto &c : clients_)
         c.stepRuntime(network_model_);
 
-    const int k = policy.chooseClients(static_cast<int>(clients_.size()));
-    auto selected = selectClients(k);
-    auto observations = observe(selected);
-    auto params = policy.assign(observations, census_);
-    assert(params.size() == selected.size());
-    RoundResult result = executeRound(selected, params);
+    round::RoundContext ctx;
+    ctx.round = ++round_;
+    ctx.clients = &clients_;
+    ctx.train_set = &train_set_;
+    ctx.global_weights = &global_weights_;
+    ctx.global_model = global_model_.get();
+    ctx.pool = pool_.get();
+    ctx.workers = workers_.get();
+    ctx.cost_const = &device::costFor(config_.workload);
+    ctx.train_flops = train_flops_;
+    ctx.param_bytes = param_bytes_;
+    ctx.lr = lr_;
+    ctx.evaluate = [this] { return evaluateGlobal(); };
+    return ctx;
+}
+
+void
+FlSimulator::fillTrainRngs(round::RoundContext &ctx) const
+{
+    ctx.train_rngs.reserve(ctx.selected.size());
+    for (std::size_t id : ctx.selected)
+        ctx.train_rngs.push_back(trainRng(id));
+}
+
+RoundResult
+FlSimulator::runRound(optim::ParamOptimizer &policy)
+{
+    round::RoundContext ctx = makeRoundContext();
+    ctx.select = [this, &policy](round::RoundContext &c) {
+        const int k =
+            policy.chooseClients(static_cast<int>(clients_.size()));
+        c.selected = selectClients(k);
+        auto observations = observe(c.selected);
+        c.params = policy.assign(observations, census_);
+        assert(c.params.size() == c.selected.size());
+        fillTrainRngs(c);
+    };
+    RoundResult result = engine_->run(ctx);
+    last_accuracy_ = result.test_accuracy;
     policy.feedback(result);
     return result;
 }
@@ -168,12 +207,16 @@ FlSimulator::runRound(optim::ParamOptimizer &policy)
 RoundResult
 FlSimulator::runRoundWithParams(const GlobalParams &params)
 {
-    for (auto &c : clients_)
-        c.stepRuntime(network_model_);
-    auto selected = selectClients(params.clients);
-    std::vector<PerDeviceParams> per_device(
-        selected.size(), PerDeviceParams{params.batch, params.epochs});
-    return executeRound(selected, per_device);
+    round::RoundContext ctx = makeRoundContext();
+    ctx.select = [this, &params](round::RoundContext &c) {
+        c.selected = selectClients(params.clients);
+        c.params.assign(c.selected.size(),
+                        PerDeviceParams{params.batch, params.epochs});
+        fillTrainRngs(c);
+    };
+    RoundResult result = engine_->run(ctx);
+    last_accuracy_ = result.test_accuracy;
+    return result;
 }
 
 util::Rng
@@ -187,200 +230,57 @@ FlSimulator::trainRng(std::size_t client_id) const
     return round_stream.split(client_id);
 }
 
-RoundResult
-FlSimulator::executeRound(const std::vector<std::size_t> &selected,
-                          const std::vector<PerDeviceParams> &params)
-{
-    assert(selected.size() == params.size());
-    RoundResult result;
-    result.round = ++round_;
-
-    const auto &cost_const = device::costFor(config_.workload);
-
-    // Phase 1: every participant trains locally (real SGD), fanned out
-    // across the worker pool. Determinism: each client's training RNG is
-    // split from (seed, round, client_id) on this thread before dispatch,
-    // every index writes only its own updates[i] slot, and everything
-    // order-dependent (cost modeling, reduction) happens below in
-    // client-index order on this thread — so the result is bit-identical
-    // to serial execution regardless of scheduling.
-    std::vector<Client::UpdateResult> updates(selected.size());
-    std::vector<util::Rng> train_rngs;
-    train_rngs.reserve(selected.size());
-    for (std::size_t id : selected)
-        train_rngs.push_back(trainRng(id));
-    pool_->parallelFor(
-        selected.size(), [&](std::size_t i, std::size_t worker) {
-            nn::Model &scratch = *workers_->acquire(worker).model;
-            scratch.loadParams(global_weights_);
-            updates[i] = clients_[selected[i]].localTrain(
-                scratch, train_rngs[i], train_set_, params[i], lr_);
-        });
-
-    // Model each participant's round cost (analytic, caller thread).
-    std::vector<double> times;
-    times.reserve(selected.size());
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        const Client &c = clients_[selected[i]];
-        device::LocalWorkSpec work;
-        work.train_flops_per_sample = train_flops_;
-        work.samples = c.shardSize();
-        work.batch = params[i].batch;
-        work.epochs = params[i].epochs;
-        work.param_bytes = param_bytes_;
-
-        ClientRoundReport report;
-        report.client_id = c.id();
-        report.category = c.category();
-        report.params = params[i];
-        report.interference = c.interference();
-        report.network = c.network();
-        report.samples = c.shardSize();
-        report.train_loss = updates[i].train_loss;
-        report.cost = device::clientRoundCost(
-            device::profileFor(c.category()), cost_const, work,
-            c.interference(), c.network());
-        times.push_back(report.cost.t_round);
-        result.participants.push_back(std::move(report));
-    }
-
-    // Phase 2: straggler deadline. Devices beyond deadline_factor x the
-    // median finish time are dropped (their updates discarded), matching
-    // the drop policy of the systems the paper compares against.
-    const double median_t = util::quantile(times, 0.5);
-    const double deadline = config_.deadline_factor * median_t;
-    double round_time = 0.0;
-    for (auto &p : result.participants) {
-        if (p.cost.t_round > deadline) {
-            p.dropped = true;
-            ++result.dropped_count;
-            // The device computes until the server gives up on it, then
-            // aborts: it burns energy for the deadline window.
-            const double frac = deadline / p.cost.t_round;
-            p.cost.e_comp *= frac;
-            p.cost.e_comm *= frac;
-            p.cost.e_total = p.cost.e_comp + p.cost.e_comm;
-            round_time = std::max(round_time, deadline);
-        } else {
-            round_time = std::max(round_time, p.cost.t_round);
-        }
-    }
-    result.round_time = round_time;
-
-    // Participants that finished early wait for the round's stragglers
-    // with the runtime and connection held open — the redundant energy
-    // adaptive per-device parameters remove (paper Fig. 5).
-    for (auto &p : result.participants) {
-        if (!p.dropped && p.cost.t_round < round_time) {
-            device::PowerModel power(device::profileFor(p.category));
-            p.cost.e_wait =
-                power.waitPower() * (round_time - p.cost.t_round);
-            p.cost.e_total += p.cost.e_wait;
-        }
-    }
-
-    // Phase 3: FedAvg aggregation over kept updates, weighted by sample
-    // count. Updates containing non-finite values (a client diverged
-    // under an aggressive configuration) are rejected — one bad client
-    // must not poison the global model.
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-        if (result.participants[i].dropped)
-            continue;
-        bool finite = true;
-        for (float v : updates[i].weights) {
-            if (!std::isfinite(v)) {
-                finite = false;
-                break;
-            }
-        }
-        if (!finite) {
-            result.participants[i].dropped = true;
-            ++result.dropped_count;
-            util::logWarn("round " + std::to_string(round_) + ": client " +
-                          std::to_string(selected[i]) +
-                          " update diverged; rejected");
-        }
-    }
-    std::size_t total_samples = 0;
-    for (std::size_t i = 0; i < selected.size(); ++i)
-        if (!result.participants[i].dropped)
-            total_samples += updates[i].samples;
-    if (total_samples > 0) {
-        std::vector<double> acc(global_weights_.size(), 0.0);
-        for (std::size_t i = 0; i < selected.size(); ++i) {
-            if (result.participants[i].dropped)
-                continue;
-            const double wgt = static_cast<double>(updates[i].samples) /
-                               static_cast<double>(total_samples);
-            const auto &wv = updates[i].weights;
-            assert(wv.size() == acc.size());
-            for (std::size_t j = 0; j < acc.size(); ++j)
-                acc[j] += wgt * wv[j];
-        }
-        for (std::size_t j = 0; j < acc.size(); ++j)
-            global_weights_[j] = static_cast<float>(acc[j]);
-        global_model_->loadParams(global_weights_);
-    }
-    result.samples_aggregated = total_samples;
-
-    // Phase 4: energy bookkeeping over the whole fleet (Eqs. 4-6).
-    std::vector<bool> participating(clients_.size(), false);
-    for (std::size_t id : selected)
-        participating[id] = true;
-    for (const auto &p : result.participants)
-        result.energy_participants += p.cost.e_total;
-    for (std::size_t id = 0; id < clients_.size(); ++id) {
-        if (!participating[id]) {
-            device::PowerModel power(
-                device::profileFor(clients_[id].category()));
-            result.energy_idle += power.idleEnergy(result.round_time);
-        }
-    }
-    result.energy_total = result.energy_participants + result.energy_idle;
-
-    // Phase 5: evaluation.
-    auto eval = evaluateGlobal();
-    result.test_accuracy = eval.accuracy;
-    result.test_loss = eval.loss;
-    last_accuracy_ = eval.accuracy;
-    double loss_sum = 0.0;
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < result.participants.size(); ++i) {
-        if (!result.participants[i].dropped) {
-            loss_sum += result.participants[i].train_loss;
-            ++kept;
-        }
-    }
-    result.train_loss = kept > 0 ? loss_sum / static_cast<double>(kept)
-                                 : 0.0;
-    return result;
-}
-
 nn::Model::EvalResult
 FlSimulator::evaluateGlobal()
 {
-    nn::Model::EvalResult total;
-    std::size_t seen = 0;
-    std::size_t correct_weighted = 0;
-    double loss_weighted = 0.0;
-    std::vector<std::size_t> idx;
-    for (std::size_t start = 0; start < test_set_.size();
-         start += config_.eval_batch) {
-        const std::size_t end =
-            std::min(start + config_.eval_batch, test_set_.size());
-        idx.resize(end - start);
+    const std::size_t n = test_set_.size();
+    const std::size_t batch = config_.eval_batch;
+    const std::size_t n_batches = n == 0 ? 0 : (n + batch - 1) / batch;
+
+    // Fan evaluation batches out across the pool. Each index writes only
+    // its own slot and evaluates on its worker's scratch model (loaded
+    // with the current global weights, so it computes exactly what the
+    // server model would); the reduction below runs in batch-index order
+    // on this thread, making the result bit-identical to serial. The
+    // correct counts are integers, so accuracy is exact — no lossy
+    // reconstruction from per-batch ratios.
+    struct BatchEval
+    {
+        double loss = 0.0;
+        std::size_t correct = 0;
+        std::size_t count = 0;
+    };
+    std::vector<BatchEval> partials(n_batches);
+    pool_->parallelFor(n_batches, [&](std::size_t b, std::size_t worker) {
+        const std::size_t start = b * batch;
+        const std::size_t end = std::min(start + batch, n);
+        std::vector<std::size_t> idx(end - start);
         for (std::size_t i = start; i < end; ++i)
             idx[i - start] = i;
-        test_set_.gather(idx, eval_batch_buf_, eval_labels_buf_);
-        auto r = global_model_->evaluate(eval_batch_buf_, eval_labels_buf_);
-        loss_weighted += r.loss * static_cast<double>(end - start);
-        correct_weighted += static_cast<std::size_t>(
-            std::lround(r.accuracy * static_cast<double>(end - start)));
-        seen += end - start;
+        tensor::Tensor feat;
+        std::vector<int> labels;
+        test_set_.gather(idx, feat, labels);
+        nn::Model &model = pool_->size() > 1
+                               ? *workers_->acquire(worker).model
+                               : *global_model_;
+        if (pool_->size() > 1)
+            model.loadParams(global_weights_);
+        auto r = model.evaluate(feat, labels);
+        partials[b] = BatchEval{r.loss * static_cast<double>(end - start),
+                                r.correct, end - start};
+    });
+
+    nn::Model::EvalResult total;
+    double loss_weighted = 0.0;
+    std::size_t seen = 0;
+    for (const BatchEval &p : partials) {
+        loss_weighted += p.loss;
+        total.correct += p.correct;
+        seen += p.count;
     }
     if (seen > 0) {
         total.loss = loss_weighted / static_cast<double>(seen);
-        total.accuracy = static_cast<double>(correct_weighted) /
+        total.accuracy = static_cast<double>(total.correct) /
                          static_cast<double>(seen);
     }
     return total;

@@ -7,7 +7,10 @@
  * a synthetic dataset and the server aggregates actual weights — while
  * time and energy come from the device cost model (Eqs. 2-4), never from
  * host timing. One simulator instance owns the global model, the fleet,
- * the shared data store, and the straggler/deadline policy.
+ * the shared data store, and a round::RoundEngine that executes each
+ * round as a staged pipeline (Select -> Train -> Cost -> Straggler ->
+ * Aggregate -> Energy -> Evaluate) with pluggable aggregation/straggler
+ * strategies and an observer event stream.
  */
 
 #ifndef FEDGPO_FL_SIMULATOR_H_
@@ -20,6 +23,7 @@
 #include "data/partition.h"
 #include "device/network_model.h"
 #include "fl/client.h"
+#include "fl/round/round_engine.h"
 #include "fl/types.h"
 #include "models/zoo.h"
 #include "optim/optimizer.h"
@@ -86,9 +90,28 @@ class FlSimulator
     double testAccuracy() const { return last_accuracy_; }
 
     /**
+     * The round pipeline. Swap strategies or register observers through
+     * it; the default strategies (FedAvgAggregator + DeadlineDropPolicy
+     * at config.deadline_factor) reproduce the paper's Algorithm 1.
+     */
+    round::RoundEngine &roundEngine() { return *engine_; }
+
+    /** Convenience: register a round observer (non-owning). */
+    void addRoundObserver(round::RoundObserver *observer)
+    {
+        engine_->addObserver(observer);
+    }
+
+    /** Convenience: unregister a round observer. */
+    void removeRoundObserver(round::RoundObserver *observer)
+    {
+        engine_->removeObserver(observer);
+    }
+
+    /**
      * Run one full aggregation round driven by the given policy:
      * client selection, per-device assignment, real local training,
-     * cost modeling, straggler deadline, aggregation, evaluation, and
+     * cost modeling, straggler handling, aggregation, evaluation, and
      * policy feedback.
      */
     RoundResult runRound(optim::ParamOptimizer &policy);
@@ -108,7 +131,12 @@ class FlSimulator
     double predictedRoundTime(std::size_t client_id,
                               const PerDeviceParams &params) const;
 
-    /** Evaluate the global model on the held-out test set. */
+    /**
+     * Evaluate the global model on the held-out test set, fanned out
+     * across the worker pool in evaluation batches with a
+     * batch-index-ordered reduction — bit-identical to serial for any
+     * thread count (same contract as the training fan-out).
+     */
     nn::Model::EvalResult evaluateGlobal();
 
     /** Per-sample training FLOPs of the (proxy) model. */
@@ -128,9 +156,15 @@ class FlSimulator
     std::vector<DeviceObservation>
     observe(const std::vector<std::size_t> &selected) const;
 
-    /** Shared round body once selection and assignment are fixed. */
-    RoundResult executeRound(const std::vector<std::size_t> &selected,
-                             const std::vector<PerDeviceParams> &params);
+    /**
+     * Context for the round the engine is about to run: advances every
+     * device's runtime state, bumps the round counter, and wires the
+     * simulator state and hooks (selection left to the caller).
+     */
+    round::RoundContext makeRoundContext();
+
+    /** Fill ctx.train_rngs for the already-made selection. */
+    void fillTrainRngs(round::RoundContext &ctx) const;
 
     /**
      * Training stream for one client in the current round, derived as
@@ -147,6 +181,7 @@ class FlSimulator
     std::unique_ptr<nn::Model> global_model_;
     std::unique_ptr<runtime::ThreadPool> pool_;
     std::unique_ptr<runtime::WorkerContextPool> workers_;
+    std::unique_ptr<round::RoundEngine> engine_;
     nn::LayerCensus census_;
     std::vector<Client> clients_;
     device::NetworkModel network_model_;
@@ -156,10 +191,6 @@ class FlSimulator
     double lr_ = 0.0;
     int round_ = 0;
     double last_accuracy_ = 0.0;
-
-    // Reusable evaluation buffers.
-    tensor::Tensor eval_batch_buf_;
-    std::vector<int> eval_labels_buf_;
 };
 
 } // namespace fl

@@ -13,6 +13,20 @@ GlobalParams::toString() const
     return os.str();
 }
 
+const char *
+dropReasonName(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::None:
+        return "none";
+      case DropReason::Straggler:
+        return "straggler";
+      case DropReason::Diverged:
+        return "diverged";
+    }
+    return "unknown";
+}
+
 double
 RoundResult::goodputPerJoule() const
 {

@@ -72,6 +72,19 @@ struct DeviceObservation
 };
 
 /**
+ * Why a participant's update was excluded from aggregation.
+ */
+enum class DropReason
+{
+    None,      //!< update kept
+    Straggler, //!< exceeded the round deadline (straggler policy)
+    Diverged,  //!< update contained non-finite values (server rejection)
+};
+
+/** Short stable label for a DropReason ("none"/"straggler"/"diverged"). */
+const char *dropReasonName(DropReason reason);
+
+/**
  * Per-participant outcome of a round.
  */
 struct ClientRoundReport
@@ -84,7 +97,15 @@ struct ClientRoundReport
     device::NetworkState network;
     std::size_t samples = 0;
     double train_loss = 0.0;
-    bool dropped = false;  //!< exceeded the straggler deadline
+    bool dropped = false;  //!< update excluded (see drop_reason)
+    DropReason drop_reason = DropReason::None;
+
+    /**
+     * Fraction of this client's update the aggregator blends into the
+     * global model. 1 for a full contribution; an AcceptPartialPolicy
+     * sets it to the completed-work fraction of a late client.
+     */
+    double update_scale = 1.0;
 };
 
 /**
@@ -101,8 +122,16 @@ struct RoundResult
     double test_accuracy = 0.0;
     double test_loss = 0.0;
     double train_loss = 0.0;          //!< mean over kept participants
-    std::size_t dropped_count = 0;
+    std::size_t dropped_straggler = 0; //!< deadline exceeded
+    std::size_t dropped_diverged = 0;  //!< non-finite update rejected
     std::size_t samples_aggregated = 0;
+
+    /** Total excluded participants, regardless of cause. */
+    std::size_t
+    droppedCount() const
+    {
+        return dropped_straggler + dropped_diverged;
+    }
 
     /**
      * Round-level performance-per-watt proxy: aggregated training work

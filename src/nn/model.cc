@@ -41,9 +41,10 @@ Model::evaluate(const Tensor &input, const std::vector<int> &labels)
     const Tensor &logits = forward(input, /*train=*/false);
     EvalResult result;
     result.loss = loss_.forward(logits, labels);
+    result.correct = loss_.correct();
     result.accuracy = labels.empty()
                           ? 0.0
-                          : static_cast<double>(loss_.correct()) /
+                          : static_cast<double>(result.correct) /
                                 static_cast<double>(labels.size());
     return result;
 }

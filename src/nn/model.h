@@ -71,12 +71,15 @@ class Model
 
     /**
      * Evaluate mean loss and accuracy on a batch without touching
-     * gradients.
+     * gradients. `correct` is the exact argmax-correct count, so batched
+     * evaluators can sum integer counts instead of reconstructing them
+     * from the accuracy ratio (which is lossy).
      */
     struct EvalResult
     {
         double loss = 0.0;
         double accuracy = 0.0;
+        std::size_t correct = 0;
     };
     EvalResult evaluate(const Tensor &input, const std::vector<int> &labels);
 

@@ -8,8 +8,10 @@
  *   1. chooseClients(max_k)      -> K for this round
  *   2. assign(observations, census) -> per-device (B, E) for the K
  *      selected devices, given their observed runtime/data states
- *   3. (the simulator runs the round)
- *   4. feedback(result)          -> learning signal for the policy
+ *   3. (the round::RoundEngine runs the staged round pipeline)
+ *   4. feedback(result)          -> learning signal for the policy, fed
+ *      the engine-built RoundResult (straggler/divergence drops already
+ *      split out per cause)
  */
 
 #ifndef FEDGPO_OPTIM_OPTIMIZER_H_

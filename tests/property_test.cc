@@ -48,7 +48,7 @@ expectRoundInvariants(const FlSimulator &sim, const RoundResult &r,
         }
     }
     EXPECT_NEAR(r.energy_participants, sum_participants, 1e-6);
-    EXPECT_EQ(r.dropped_count, drops);
+    EXPECT_EQ(r.droppedCount(), drops);
 
     // Accuracy is a probability.
     EXPECT_GE(r.test_accuracy, 0.0);

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Golden determinism test of the round pipeline: with the default
+ * strategies (FedAvgAggregator + DeadlineDropPolicy), every RoundResult
+ * must be bit-identical to the pre-engine monolithic round loop. The
+ * literals below were captured (as C99 hexfloats, so they round-trip
+ * exactly) from the commit immediately before the RoundEngine refactor,
+ * for all three workloads over five rounds.
+ *
+ * Any change to these numbers is a behavior change of the simulator
+ * itself — not a refactor — and must be made deliberately, re-capturing
+ * the goldens in the same commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "fl/simulator.h"
+
+using namespace fedgpo;
+using namespace fedgpo::fl;
+
+namespace {
+
+struct GoldenRound
+{
+    double test_accuracy;
+    double test_loss;
+    double train_loss;
+    double round_time;
+    double energy_participants;
+    double energy_idle;
+    double energy_total;
+    std::size_t dropped;
+    std::size_t samples_aggregated;
+};
+
+// Capture config: 8 devices, 96/32 train/test samples, seed 11, both
+// variance processes on, deadline_factor 2.0, five rounds of
+// (B=4, E=1, K=6).
+FlConfig
+goldenConfig(models::Workload workload, std::size_t threads)
+{
+    FlConfig config;
+    config.workload = workload;
+    config.n_devices = 8;
+    config.train_samples = 96;
+    config.test_samples = 32;
+    config.seed = 11;
+    config.interference = true;
+    config.network_unstable = true;
+    config.deadline_factor = 2.0;
+    config.threads = threads;
+    return config;
+}
+
+constexpr GoldenRound kCnnMnist[] = {
+    {0x1p-5, 0x1.473eaef814386p+1, 0x1.cc53f0ff051fp+1, 0x1.c3fb2e8db2ecep+2,
+     0x1.a21c5894d77bap+6, 0x1.c3fb2e8db2ecep+1, 0x1.b03c32094513p+6, 0u,
+     72u},
+    {0x0p+0, 0x1.2d8658b7bb917p+1, 0x1.61dadd1cef169p+1, 0x1.6c188f6620a8ap+5,
+     0x1.c8da96cf63e2p+9, 0x1.90816a89f0b98p+4, 0x1.d55ea223b367dp+9, 2u,
+     48u},
+    {0x0p+0, 0x1.31b689e2f5dacp+1, 0x1.38bcf0a0d0217p+1, 0x1.d1cc66b4d59fap+3,
+     0x1.f8ad8619faf94p+7, 0x1.a337f60926a94p+2, 0x1.02e3a2e522174p+8, 1u,
+     60u},
+    {0x1p-4, 0x1.238ce22e50a94p+1, 0x1.3bd4cc38f0e78p+1, 0x1.0463f2799625ap+4,
+     0x1.20a98e8d37203p+8, 0x1.0463f2799625ap+3, 0x1.28ccae2103d16p+8, 1u,
+     60u},
+    {0x1p-3, 0x1.22866796d6698p+1, 0x1.3173643deebbfp+1, 0x1.249d123cf55b9p+3,
+     0x1.1874cfebfca3cp+7, 0x1.41dffa764117ep+2, 0x1.2283cfbfaeac8p+7, 0u,
+     72u},
+};
+
+constexpr GoldenRound kLstmShakespeare[] = {
+    {0x1.4p-3, 0x1.9a363fb3d6c22p+1, 0x1.9a8d1ebe853e1p+1,
+     0x1.7dca7cb14b8eep+2, 0x1.91013651e8ef5p+6, 0x1.7dca7cb14b8eep+1,
+     0x1.9cef8a37734bcp+6, 0u, 72u},
+    {0x1.4p-3, 0x1.8426deacc1015p+1, 0x1.7abe6459b42c3p+1,
+     0x1.b1e2093440faap+4, 0x1.124c820bb901cp+9, 0x1.dd457086477a1p+3,
+     0x1.19c197cdd21fbp+9, 2u, 48u},
+    {0x1.4p-3, 0x1.81a6a4be88a96p+1, 0x1.7bcbcba699a44p+1,
+     0x1.380f7dc42381ap+3, 0x1.63f2b5530516ap+7, 0x1.18dabdfd5327ep+2,
+     0x1.6cb98b42efafep+7, 1u, 60u},
+    {0x1.cp-3, 0x1.860835bbc3cadp+1, 0x1.75c687c258433p+1,
+     0x1.7df419d6f4bd4p+3, 0x1.ba1808e9f1c83p+7, 0x1.7df419d6f4bd4p+2,
+     0x1.c607a9b8a96e2p+7, 1u, 60u},
+    {0x1.4p-3, 0x1.80fd3324238c6p+1, 0x1.6719ee4fcac38p+1,
+     0x1.bae29e46f8f7ep+2, 0x1.d9f03a8d2267cp+6, 0x1.e72c7ae7ab771p+1,
+     0x1.e9299e645fc38p+6, 0u, 72u},
+};
+
+constexpr GoldenRound kMobileNetImageNet[] = {
+    {0x1p-5, 0x1.01dfa5fc98026p+2, 0x1.51da1fbbd7b04p+2,
+     0x1.fcb4ffbb4f23p+2, 0x1.de0ce519304b9p+6, 0x1.fcb4ffbb4f23p+1,
+     0x1.edf28d170ac4ap+6, 0u, 72u},
+    {0x1p-5, 0x1.ef2af59401e03p+1, 0x1.039316cb9dcfp+2,
+     0x1.897eebd8465b8p+5, 0x1.ee1d0b83be07cp+9, 0x1.b0d869d44d64ap+4,
+     0x1.fba3ced26072ep+9, 2u, 48u},
+    {0x0p+0, 0x1.01df5365db009p+2, 0x1.e1d224fbf8a56p+1,
+     0x1.02440543d1284p+4, 0x1.191445cda37ddp+8, 0x1.d0e0d646dee21p+2,
+     0x1.2057c926bef96p+8, 1u, 60u},
+    {0x1p-5, 0x1.cabb122b1c8c2p+1, 0x1.d50ebe80c9b36p+1,
+     0x1.24a0ea4cefeap+4, 0x1.45b4b9e13d3bcp+8, 0x1.24a0ea4cefeap+3,
+     0x1.4ed9c133a4bb1p+8, 1u, 60u},
+    {0x1p-5, 0x1.ca208af859919p+1, 0x1.b74aeb1eff86dp+1,
+     0x1.4514f6a49fbaep+3, 0x1.3b84e456c3d16p+7, 0x1.65970f4eafb4p+2,
+     0x1.46b19cd1394fp+7, 0u, 72u},
+};
+
+struct GoldenCase
+{
+    const char *name;
+    models::Workload workload;
+    const GoldenRound *rounds;
+};
+
+constexpr GoldenCase kCases[] = {
+    {"CnnMnist", models::Workload::CnnMnist, kCnnMnist},
+    {"LstmShakespeare", models::Workload::LstmShakespeare,
+     kLstmShakespeare},
+    {"MobileNetImageNet", models::Workload::MobileNetImageNet,
+     kMobileNetImageNet},
+};
+
+constexpr int kRounds = 5;
+
+} // namespace
+
+class RoundGoldenTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, GoldenCase>>
+{
+};
+
+TEST_P(RoundGoldenTest, BitIdenticalToPreEngineTrace)
+{
+    const auto [threads, golden_case] = GetParam();
+    FlSimulator sim(goldenConfig(golden_case.workload, threads));
+    for (int r = 0; r < kRounds; ++r) {
+        SCOPED_TRACE(std::string(golden_case.name) + " round " +
+                     std::to_string(r + 1));
+        const GoldenRound &g = golden_case.rounds[r];
+        RoundResult result = sim.runRoundWithParams(GlobalParams{4, 1, 6});
+
+        // Exact equality throughout: the refactor (and any thread count)
+        // must not perturb a single bit of the simulated trace.
+        EXPECT_EQ(result.test_accuracy, g.test_accuracy);
+        EXPECT_EQ(result.test_loss, g.test_loss);
+        EXPECT_EQ(result.train_loss, g.train_loss);
+        EXPECT_EQ(result.round_time, g.round_time);
+        EXPECT_EQ(result.energy_participants, g.energy_participants);
+        EXPECT_EQ(result.energy_idle, g.energy_idle);
+        EXPECT_EQ(result.energy_total, g.energy_total);
+        EXPECT_EQ(result.dropped_straggler, g.dropped);
+        EXPECT_EQ(result.dropped_diverged, 0u);
+        EXPECT_EQ(result.samples_aggregated, g.samples_aggregated);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SerialAndParallel, RoundGoldenTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4}),
+                       ::testing::ValuesIn(kCases)),
+    [](const ::testing::TestParamInfo<RoundGoldenTest::ParamType> &info) {
+        return std::string(std::get<1>(info.param).name) + "_threads" +
+               std::to_string(std::get<0>(info.param));
+    });

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests of the round pipeline's pluggable pieces: straggler
+ * policies, aggregators, divergence rejection, the observer event
+ * stream, and the JSONL trace writer — plus simulator-level checks that
+ * the non-default strategies actually change behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "fl/round/aggregator.h"
+#include "fl/round/round_engine.h"
+#include "fl/round/straggler_policy.h"
+#include "fl/round/trace_writer.h"
+#include "fl/simulator.h"
+
+using namespace fedgpo;
+using namespace fedgpo::fl;
+using namespace fedgpo::fl::round;
+
+namespace {
+
+/**
+ * A context holding only what straggler policies touch: one report per
+ * participant with a modeled cost. Energy splits 60/40 comp/comm so
+ * proration is visible on both components.
+ */
+RoundContext
+contextWithRoundTimes(const std::vector<double> &times)
+{
+    RoundContext ctx;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        ClientRoundReport p;
+        p.client_id = i;
+        p.cost.t_round = times[i];
+        p.cost.e_comp = 6.0 * times[i];
+        p.cost.e_comm = 4.0 * times[i];
+        p.cost.e_total = p.cost.e_comp + p.cost.e_comm;
+        ctx.result.participants.push_back(p);
+    }
+    return ctx;
+}
+
+/**
+ * A context holding what aggregators touch: per-client single-coordinate
+ * updates with sample counts, plus the global weights.
+ */
+RoundContext
+contextWithUpdates(const std::vector<float> &values,
+                   const std::vector<std::size_t> &samples,
+                   std::vector<float> &global_weights)
+{
+    RoundContext ctx;
+    ctx.global_weights = &global_weights;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        ClientRoundReport p;
+        p.client_id = i;
+        p.samples = samples[i];
+        ctx.result.participants.push_back(p);
+        Client::UpdateResult u;
+        u.weights = {values[i]};
+        u.samples = samples[i];
+        ctx.updates.push_back(std::move(u));
+    }
+    return ctx;
+}
+
+FlConfig
+tinyConfig()
+{
+    FlConfig config;
+    config.n_devices = 8;
+    config.train_samples = 96;
+    config.test_samples = 32;
+    config.seed = 11;
+    config.interference = true;
+    config.network_unstable = true;
+    config.threads = 1;
+    return config;
+}
+
+} // namespace
+
+// --- Straggler policies. ------------------------------------------------
+
+TEST(DeadlineDropPolicy, DropsBeyondDeadlineWithProratedEnergy)
+{
+    // Median of {1, 1, 10} is 1, so factor 2 puts the deadline at 2.0:
+    // the slow client is cut off after completing 2/10 of its work.
+    RoundContext ctx = contextWithRoundTimes({1.0, 1.0, 10.0});
+    DeadlineDropPolicy policy(2.0);
+    const double round_time = policy.apply(ctx);
+
+    EXPECT_DOUBLE_EQ(round_time, 2.0);
+    EXPECT_EQ(ctx.result.dropped_straggler, 1u);
+    EXPECT_EQ(ctx.result.dropped_diverged, 0u);
+    EXPECT_FALSE(ctx.result.participants[0].dropped);
+    EXPECT_FALSE(ctx.result.participants[1].dropped);
+
+    const ClientRoundReport &slow = ctx.result.participants[2];
+    EXPECT_TRUE(slow.dropped);
+    EXPECT_EQ(slow.drop_reason, DropReason::Straggler);
+    EXPECT_DOUBLE_EQ(slow.update_scale, 1.0); // dropped, never scaled
+    // Energy prorated by 0.2: e_comp 60 -> 12, e_comm 40 -> 8.
+    EXPECT_DOUBLE_EQ(slow.cost.e_comp, 12.0);
+    EXPECT_DOUBLE_EQ(slow.cost.e_comm, 8.0);
+    EXPECT_DOUBLE_EQ(slow.cost.e_total, 20.0);
+}
+
+TEST(DeadlineDropPolicy, FastRoundGatedBySlowestKeptClient)
+{
+    RoundContext ctx = contextWithRoundTimes({1.0, 1.5, 1.8});
+    DeadlineDropPolicy policy(3.0); // deadline 4.5, nobody dropped
+    EXPECT_DOUBLE_EQ(policy.apply(ctx), 1.8);
+    EXPECT_EQ(ctx.result.dropped_straggler, 0u);
+}
+
+TEST(AcceptPartialPolicy, KeepsLateClientAtCompletedFraction)
+{
+    RoundContext ctx = contextWithRoundTimes({1.0, 1.0, 10.0});
+    AcceptPartialPolicy policy(2.0);
+    const double round_time = policy.apply(ctx);
+
+    // Same deadline and energy proration as DeadlineDropPolicy...
+    EXPECT_DOUBLE_EQ(round_time, 2.0);
+    const ClientRoundReport &slow = ctx.result.participants[2];
+    EXPECT_DOUBLE_EQ(slow.cost.e_comp, 12.0);
+    EXPECT_DOUBLE_EQ(slow.cost.e_comm, 8.0);
+    EXPECT_DOUBLE_EQ(slow.cost.e_total, 20.0);
+
+    // ...but the client is kept, contributing its completed fraction.
+    EXPECT_FALSE(slow.dropped);
+    EXPECT_EQ(slow.drop_reason, DropReason::None);
+    EXPECT_DOUBLE_EQ(slow.update_scale, 0.2);
+    EXPECT_EQ(ctx.result.dropped_straggler, 0u);
+    EXPECT_DOUBLE_EQ(ctx.result.participants[0].update_scale, 1.0);
+}
+
+// --- Aggregators. -------------------------------------------------------
+
+TEST(FedAvgAggregator, SampleWeightedAverage)
+{
+    std::vector<float> gw = {0.0f};
+    RoundContext ctx = contextWithUpdates({2.0f, 4.0f}, {1, 3}, gw);
+    FedAvgAggregator agg;
+    const AggregationStats stats = agg.aggregate(ctx);
+
+    EXPECT_EQ(stats.contributors, 2u);
+    EXPECT_EQ(stats.samples, 4u);
+    EXPECT_EQ(stats.scaled, 0u);
+    // (1*2 + 3*4) / 4 = 3.5
+    EXPECT_FLOAT_EQ(gw[0], 3.5f);
+}
+
+TEST(FedAvgAggregator, ScaledUpdateBlendsTowardPreviousGlobals)
+{
+    std::vector<float> gw = {1.0f};
+    RoundContext ctx = contextWithUpdates({2.0f, 2.0f}, {1, 1}, gw);
+    ctx.result.participants[1].update_scale = 0.5;
+    FedAvgAggregator agg;
+    const AggregationStats stats = agg.aggregate(ctx);
+
+    EXPECT_EQ(stats.scaled, 1u);
+    // Client 0 contributes 2; client 1 contributes 1 + 0.5*(2-1) = 1.5;
+    // equal samples -> (2 + 1.5) / 2 = 1.75.
+    EXPECT_FLOAT_EQ(gw[0], 1.75f);
+}
+
+TEST(FedAvgAggregator, AllDroppedLeavesGlobalsUntouched)
+{
+    std::vector<float> gw = {7.0f};
+    RoundContext ctx = contextWithUpdates({2.0f}, {4}, gw);
+    ctx.result.participants[0].dropped = true;
+    FedAvgAggregator agg;
+    const AggregationStats stats = agg.aggregate(ctx);
+    EXPECT_EQ(stats.contributors, 0u);
+    EXPECT_FLOAT_EQ(gw[0], 7.0f);
+}
+
+TEST(TrimmedMeanAggregator, SurvivesPoisonedUpdateThatSkewsFedAvg)
+{
+    // Four honest clients report 0, one poisoned client reports 100.
+    std::vector<float> honest_gw = {0.0f};
+    {
+        RoundContext ctx = contextWithUpdates(
+            {0.0f, 0.0f, 0.0f, 0.0f, 100.0f}, {1, 1, 1, 1, 1}, honest_gw);
+        FedAvgAggregator fedavg;
+        fedavg.aggregate(ctx);
+        EXPECT_FLOAT_EQ(honest_gw[0], 20.0f) << "FedAvg absorbs the poison";
+    }
+    std::vector<float> robust_gw = {0.0f};
+    {
+        RoundContext ctx = contextWithUpdates(
+            {0.0f, 0.0f, 0.0f, 0.0f, 100.0f}, {1, 1, 1, 1, 1}, robust_gw);
+        TrimmedMeanAggregator trimmed(0.2);
+        const AggregationStats stats = trimmed.aggregate(ctx);
+        EXPECT_EQ(stats.contributors, 5u);
+        EXPECT_FLOAT_EQ(robust_gw[0], 0.0f) << "trimming rejects the poison";
+    }
+}
+
+TEST(TrimmedMeanAggregator, TrimClampedSoOneValueSurvives)
+{
+    std::vector<float> gw = {0.0f};
+    RoundContext ctx = contextWithUpdates({1.0f, 3.0f}, {1, 1}, gw);
+    TrimmedMeanAggregator trimmed(0.5); // would trim both; clamped
+    trimmed.aggregate(ctx);
+    EXPECT_FLOAT_EQ(gw[0], 2.0f);
+}
+
+// --- Divergence rejection. ----------------------------------------------
+
+TEST(RejectDivergedUpdates, NonFiniteUpdateExcludedFromAggregation)
+{
+    std::vector<float> gw = {0.0f};
+    RoundContext ctx = contextWithUpdates({2.0f, 0.0f}, {1, 1}, gw);
+    ctx.updates[1].weights[0] = std::numeric_limits<float>::quiet_NaN();
+
+    EXPECT_EQ(rejectDivergedUpdates(ctx), 1u);
+    EXPECT_TRUE(ctx.result.participants[1].dropped);
+    EXPECT_EQ(ctx.result.participants[1].drop_reason, DropReason::Diverged);
+    EXPECT_EQ(ctx.result.dropped_diverged, 1u);
+    EXPECT_EQ(ctx.result.dropped_straggler, 0u);
+
+    FedAvgAggregator agg;
+    const AggregationStats stats = agg.aggregate(ctx);
+    EXPECT_EQ(stats.contributors, 1u);
+    EXPECT_FLOAT_EQ(gw[0], 2.0f) << "only the finite update contributes";
+    EXPECT_TRUE(std::isfinite(gw[0]));
+}
+
+TEST(RejectDivergedUpdates, AlreadyDroppedClientsNotRecounted)
+{
+    std::vector<float> gw = {0.0f};
+    RoundContext ctx = contextWithUpdates({2.0f}, {1}, gw);
+    ctx.updates[0].weights[0] = std::numeric_limits<float>::infinity();
+    ctx.result.participants[0].dropped = true;
+    ctx.result.participants[0].drop_reason = DropReason::Straggler;
+    ctx.result.dropped_straggler = 1;
+
+    EXPECT_EQ(rejectDivergedUpdates(ctx), 0u);
+    EXPECT_EQ(ctx.result.dropped_diverged, 0u);
+    EXPECT_EQ(ctx.result.participants[0].drop_reason,
+              DropReason::Straggler);
+}
+
+// --- Simulator-level strategy swaps. ------------------------------------
+
+TEST(RoundEngineStrategies, AcceptPartialDivergesFromDeadlineDrop)
+{
+    // Under a harsh deadline the default policy drops stragglers; partial
+    // acceptance keeps them (scaled), so drop counts and the aggregate
+    // must differ while the gating time matches.
+    FlConfig config = tinyConfig();
+    config.deadline_factor = 1.01;
+
+    FlSimulator drop_sim(config);
+    FlSimulator partial_sim(config);
+    partial_sim.roundEngine().setStragglerPolicy(
+        std::make_unique<AcceptPartialPolicy>(config.deadline_factor));
+
+    std::size_t drop_total = 0, partial_scaled = 0;
+    for (int r = 0; r < 3; ++r) {
+        RoundResult rd = drop_sim.runRoundWithParams(GlobalParams{4, 2, 6});
+        RoundResult rp =
+            partial_sim.runRoundWithParams(GlobalParams{4, 2, 6});
+        drop_total += rd.dropped_straggler;
+        EXPECT_EQ(rp.dropped_straggler, 0u)
+            << "accept-partial never drops stragglers";
+        EXPECT_EQ(rd.round_time, rp.round_time)
+            << "same deadline gates both policies";
+        for (const auto &p : rp.participants)
+            partial_scaled += p.update_scale < 1.0 ? 1 : 0;
+    }
+    EXPECT_GT(drop_total, 0u) << "harsh deadline must create stragglers";
+    EXPECT_GT(partial_scaled, 0u);
+}
+
+TEST(RoundEngineStrategies, TrimmedMeanDivergesFromFedAvg)
+{
+    FlConfig config = tinyConfig();
+    FlSimulator fedavg_sim(config);
+    FlSimulator trimmed_sim(config);
+    trimmed_sim.roundEngine().setAggregator(
+        std::make_unique<TrimmedMeanAggregator>(0.2));
+
+    fedavg_sim.runRoundWithParams(GlobalParams{4, 1, 6});
+    trimmed_sim.runRoundWithParams(GlobalParams{4, 1, 6});
+    EXPECT_NE(fedavg_sim.globalModel().saveParams(),
+              trimmed_sim.globalModel().saveParams())
+        << "a different aggregation rule must move the model differently";
+}
+
+// --- Observer event stream. ---------------------------------------------
+
+namespace {
+
+struct CountingObserver : RoundObserver
+{
+    int starts = 0;
+    int ends = 0;
+    int aggregates = 0;
+    std::size_t client_reports = 0;
+    std::vector<Stage> stages;
+
+    void
+    onRoundStart(const RoundContext &) override
+    {
+        ++starts;
+    }
+    void
+    onStage(const RoundContext &, Stage stage, double wall_ms) override
+    {
+        EXPECT_GE(wall_ms, 0.0);
+        stages.push_back(stage);
+    }
+    void
+    onClientReport(const RoundContext &,
+                   const ClientRoundReport &) override
+    {
+        ++client_reports;
+    }
+    void
+    onAggregate(const RoundContext &, const AggregationStats &) override
+    {
+        ++aggregates;
+    }
+    void
+    onRoundEnd(const RoundResult &result) override
+    {
+        ++ends;
+        EXPECT_GT(result.participants.size(), 0u);
+    }
+};
+
+} // namespace
+
+TEST(RoundObserverStream, FullStageSequencePerRound)
+{
+    FlSimulator sim(tinyConfig());
+    CountingObserver observer;
+    sim.addRoundObserver(&observer);
+    RoundResult r = sim.runRoundWithParams(GlobalParams{4, 1, 6});
+
+    EXPECT_EQ(observer.starts, 1);
+    EXPECT_EQ(observer.ends, 1);
+    EXPECT_EQ(observer.aggregates, 1);
+    EXPECT_EQ(observer.client_reports, r.participants.size());
+    ASSERT_EQ(observer.stages.size(), kStageCount);
+    const Stage expected[] = {Stage::Select,    Stage::Train,
+                              Stage::Cost,      Stage::Straggler,
+                              Stage::Aggregate, Stage::Energy,
+                              Stage::Evaluate};
+    for (std::size_t i = 0; i < kStageCount; ++i)
+        EXPECT_EQ(observer.stages[i], expected[i]) << "stage " << i;
+
+    // Unregistered observers see nothing further.
+    sim.removeRoundObserver(&observer);
+    sim.runRoundWithParams(GlobalParams{4, 1, 6});
+    EXPECT_EQ(observer.ends, 1);
+}
+
+TEST(RoundObserverStream, StageNamesStable)
+{
+    EXPECT_STREQ(stageName(Stage::Select), "select");
+    EXPECT_STREQ(stageName(Stage::Train), "train");
+    EXPECT_STREQ(stageName(Stage::Evaluate), "evaluate");
+    EXPECT_STREQ(dropReasonName(DropReason::None), "none");
+    EXPECT_STREQ(dropReasonName(DropReason::Straggler), "straggler");
+    EXPECT_STREQ(dropReasonName(DropReason::Diverged), "diverged");
+}
+
+// --- JSONL trace writer. ------------------------------------------------
+
+TEST(JsonlTraceWriter, OneRecordPerRoundWithStageAndClientFields)
+{
+    const std::string path = "round_trace_test.jsonl";
+    {
+        FlSimulator sim(tinyConfig());
+        JsonlTraceWriter trace(path);
+        ASSERT_TRUE(trace.ok());
+        sim.addRoundObserver(&trace);
+        sim.runRoundWithParams(GlobalParams{4, 1, 6});
+        sim.runRoundWithParams(GlobalParams{4, 1, 6});
+        sim.removeRoundObserver(&trace);
+        EXPECT_EQ(trace.roundsWritten(), 2u);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"round\":" + std::to_string(lines)),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"stages_ms\""), std::string::npos);
+        EXPECT_NE(line.find("\"select\""), std::string::npos);
+        EXPECT_NE(line.find("\"aggregation\""), std::string::npos);
+        EXPECT_NE(line.find("\"clients\""), std::string::npos);
+        EXPECT_NE(line.find("\"dropped_straggler\""), std::string::npos);
+        EXPECT_NE(line.find("\"dropped_diverged\""), std::string::npos);
+        EXPECT_NE(line.find("\"update_scale\""), std::string::npos);
+    }
+    EXPECT_EQ(lines, 2u);
+    std::remove(path.c_str());
+}

@@ -181,7 +181,8 @@ void
 expectIdenticalResults(const fl::RoundResult &a, const fl::RoundResult &b)
 {
     EXPECT_EQ(a.round, b.round);
-    EXPECT_EQ(a.dropped_count, b.dropped_count);
+    EXPECT_EQ(a.dropped_straggler, b.dropped_straggler);
+    EXPECT_EQ(a.dropped_diverged, b.dropped_diverged);
     EXPECT_EQ(a.samples_aggregated, b.samples_aggregated);
     // Bit-identical doubles: any reordering of float math would show here.
     EXPECT_EQ(a.round_time, b.round_time);
@@ -200,6 +201,8 @@ expectIdenticalResults(const fl::RoundResult &a, const fl::RoundResult &b)
         EXPECT_TRUE(pa.params == pb.params);
         EXPECT_EQ(pa.samples, pb.samples);
         EXPECT_EQ(pa.dropped, pb.dropped);
+        EXPECT_EQ(pa.drop_reason, pb.drop_reason);
+        EXPECT_EQ(pa.update_scale, pb.update_scale);
         EXPECT_EQ(pa.train_loss, pb.train_loss);
         EXPECT_EQ(pa.cost.t_comp, pb.cost.t_comp);
         EXPECT_EQ(pa.cost.t_comm, pb.cost.t_comm);

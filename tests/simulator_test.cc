@@ -121,11 +121,21 @@ TEST(Simulator, StragglersDroppedUnderHarshDeadline)
     std::size_t total_dropped = 0;
     for (int i = 0; i < 5; ++i) {
         RoundResult r = sim.runRoundWithParams(GlobalParams{8, 5, 8});
-        total_dropped += r.dropped_count;
+        total_dropped += r.droppedCount();
+        EXPECT_EQ(r.dropped_diverged, 0u);
+        EXPECT_EQ(r.dropped_straggler + r.dropped_diverged,
+                  r.droppedCount());
         for (const auto &p : r.participants) {
             if (p.dropped) {
-                // Dropped devices still burned energy up to the deadline.
+                // Dropped devices still burned energy up to the deadline,
+                // but never accrue wait energy (they left at the cutoff).
+                EXPECT_EQ(p.drop_reason, DropReason::Straggler);
                 EXPECT_GT(p.cost.e_total, 0.0);
+                EXPECT_EQ(p.cost.e_wait, 0.0);
+                EXPECT_DOUBLE_EQ(p.cost.e_total,
+                                 p.cost.e_comp + p.cost.e_comm);
+            } else {
+                EXPECT_EQ(p.drop_reason, DropReason::None);
             }
         }
     }
@@ -139,7 +149,7 @@ TEST(Simulator, NoDropsWithGenerousDeadlineAndNoVariance)
     FlSimulator sim(config);
     for (int i = 0; i < 3; ++i) {
         RoundResult r = sim.runRoundWithParams(GlobalParams{8, 2, 8});
-        EXPECT_EQ(r.dropped_count, 0u);
+        EXPECT_EQ(r.droppedCount(), 0u);
     }
 }
 
@@ -151,7 +161,8 @@ TEST(Simulator, AggregationIsSampleWeightedAverage)
     FlSimulator sim(config);
     auto before = sim.globalModel().saveParams();
     RoundResult r = sim.runRoundWithParams(GlobalParams{8, 1, 6});
-    EXPECT_EQ(r.dropped_count, r.participants.size());
+    EXPECT_EQ(r.droppedCount(), r.participants.size());
+    EXPECT_EQ(r.dropped_straggler, r.participants.size());
     EXPECT_EQ(r.samples_aggregated, 0u);
     auto after = sim.globalModel().saveParams();
     EXPECT_EQ(before, after);
