@@ -227,9 +227,15 @@ FedGpo::feedback(const fl::RoundResult &result)
     if (has_pending_k_) {
         RewardConfig k_reward = config_.reward;
         k_reward.delta_cap = 8.0;
-        const double reward =
+        double reward =
             fedgpoReward(e_global, 0.0, accuracy_smooth_, prev_smooth,
                          1.0, k_reward);
+        // An aborted round (quorum missed under fault injection) burned
+        // energy and made zero progress: penalize the chosen K below any
+        // stall-branch outcome so the learner raises the cohort size —
+        // over-provisioning against dropout — rather than shrinking it.
+        if (result.aborted)
+            reward = accuracy_smooth_ * 100.0 - 100.0 - 50.0;
         const double k_gamma = std::max(
             config_.gamma,
             1.0 / (1.0 + k_table_->visits(pending_k_state_,

@@ -106,5 +106,17 @@ clientRoundCost(const DeviceProfile &dev, const WorkloadCost &cost,
     return out;
 }
 
+TxCost
+uploadCost(const WorkloadCost &cost, std::size_t param_bytes,
+           const NetworkState &network)
+{
+    TxCost out;
+    const double bytes =
+        static_cast<double>(param_bytes) * cost.bytes_scale;
+    out.time = NetworkModel::txTime(bytes, network.bandwidth_mbps);
+    out.energy = NetworkModel::txPower(network.signal) * out.time;
+    return out;
+}
+
 } // namespace device
 } // namespace fedgpo

@@ -90,6 +90,24 @@ RoundCost clientRoundCost(const DeviceProfile &dev, const WorkloadCost &cost,
                           const InterferenceState &interference,
                           const NetworkState &network);
 
+/**
+ * Time and energy of one transmission attempt.
+ */
+struct TxCost
+{
+    double time = 0.0;   //!< airtime (s)
+    double energy = 0.0; //!< radio energy (J)
+};
+
+/**
+ * Cost of one one-way upload of the model update under the client's
+ * current network state — Eq. 3 applied to the upload payload alone.
+ * This is what a failed upload burns, and what every retry re-burns;
+ * the RecoveryPolicy charges it per retransmission.
+ */
+TxCost uploadCost(const WorkloadCost &cost, std::size_t param_bytes,
+                  const NetworkState &network);
+
 } // namespace device
 } // namespace fedgpo
 

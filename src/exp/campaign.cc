@@ -94,6 +94,12 @@ CampaignTraceObserver::onRoundEnd(const fl::RoundResult &r)
     out_.dropped.push_back(r.droppedCount());
     out_.dropped_straggler.push_back(r.dropped_straggler);
     out_.dropped_diverged.push_back(r.dropped_diverged);
+    out_.dropped_offline += r.dropped_offline;
+    out_.dropped_crashed += r.dropped_crashed;
+    out_.dropped_upload += r.dropped_upload;
+    out_.upload_retries += r.upload_retries;
+    if (r.aborted)
+        ++out_.rounds_aborted;
     out_.total_energy += r.energy_total;
     out_.total_time += r.round_time;
     for (const auto &p : r.participants) {

@@ -40,6 +40,13 @@ struct CampaignResult
     std::vector<std::size_t> dropped_straggler; //!< deadline drops
     std::vector<std::size_t> dropped_diverged;  //!< non-finite rejections
 
+    // Fault-injection aggregates (all zero with faults off).
+    std::size_t dropped_offline = 0; //!< devices offline at selection
+    std::size_t dropped_crashed = 0; //!< mid-training crashes
+    std::size_t dropped_upload = 0;  //!< uploads lost after retries
+    std::size_t upload_retries = 0;  //!< retransmissions performed
+    std::size_t rounds_aborted = 0;  //!< rounds that missed quorum
+
     // Aggregates.
     double total_energy = 0.0;      //!< J over the whole campaign
     double total_time = 0.0;        //!< simulated s over the campaign

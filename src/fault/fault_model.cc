@@ -1,0 +1,108 @@
+#include "fault/fault_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fedgpo {
+namespace fault {
+
+namespace {
+
+void
+checkRate(double rate, const char *name)
+{
+    if (rate < 0.0 || rate > 1.0) {
+        util::fatal("FaultConfig: " + std::string(name) +
+                    " must be in [0, 1], got " + std::to_string(rate));
+    }
+}
+
+} // namespace
+
+void
+FaultConfig::validate() const
+{
+    checkRate(offline_rate, "offline_rate");
+    checkRate(crash_rate, "crash_rate");
+    checkRate(upload_failure_rate, "upload_failure_rate");
+    checkRate(quorum_fraction, "quorum_fraction");
+    if (max_upload_retries < 0)
+        util::fatal("FaultConfig: max_upload_retries must be >= 0, got " +
+                    std::to_string(max_upload_retries));
+    if (backoff_base_s < 0.0 || backoff_cap_s < 0.0)
+        util::fatal("FaultConfig: backoff times must be >= 0");
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Offline:
+        return "offline";
+      case FaultKind::Crash:
+        return "crash";
+      case FaultKind::UploadRetry:
+        return "upload_retry";
+      case FaultKind::UploadExhausted:
+        return "upload_exhausted";
+    }
+    return "unknown";
+}
+
+FaultModel::FaultModel(const FaultConfig &config, std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+    config_.validate();
+}
+
+FaultDraw
+FaultModel::draw(int round, std::size_t client_id) const
+{
+    // Fresh chain Rng(seed') -> split(round) -> split(client): the
+    // stream is a pure function of (seed, round, client), mirroring
+    // FlSimulator::trainRng, so fault outcomes never depend on thread
+    // count or on draws consumed by any other subsystem. The xor
+    // constant keeps the root distinct from the training-stream root.
+    util::Rng root(seed_ ^ 0x4641554c54ULL); // "FAULT"
+    util::Rng round_stream = root.split(static_cast<std::uint64_t>(round));
+    util::Rng rng = round_stream.split(client_id);
+
+    // Fixed draw order within the stream: offline, crash, crash point,
+    // upload attempts. Later draws are consumed even when an earlier
+    // event makes them moot, so enabling one fault process never
+    // re-randomizes another.
+    FaultDraw out;
+    out.offline = rng.bernoulli(config_.offline_rate);
+    out.crash = rng.bernoulli(config_.crash_rate);
+    // Crash point: never at the very start (some work always completed
+    // before the crash is observable) nor the very end.
+    out.crash_fraction = rng.uniform(0.05, 0.95);
+    if (config_.upload_failure_rate > 0.0) {
+        // Count consecutive failed attempts; bounded by the retry
+        // budget plus one so the draw terminates even at rate 1.
+        const int attempts = config_.max_upload_retries + 1;
+        while (out.upload_failures < attempts &&
+               rng.bernoulli(config_.upload_failure_rate)) {
+            ++out.upload_failures;
+        }
+    }
+    return out;
+}
+
+double
+FaultModel::backoff(const FaultConfig &config, int retry)
+{
+    double interval = config.backoff_base_s;
+    for (int i = 0; i < retry; ++i) {
+        interval *= 2.0;
+        if (interval >= config.backoff_cap_s)
+            break;
+    }
+    return std::min(interval, config.backoff_cap_s);
+}
+
+} // namespace fault
+} // namespace fedgpo

@@ -25,10 +25,12 @@ Client::stepRuntime(const device::NetworkModel &network)
 Client::UpdateResult
 Client::localTrain(nn::Model &scratch, util::Rng &rng,
                    const data::Dataset &dataset,
-                   const PerDeviceParams &params, double lr) const
+                   const PerDeviceParams &params, double lr,
+                   double work_fraction) const
 {
     assert(params.batch >= 1 && params.epochs >= 1);
     assert(!shard_.empty());
+    assert(work_fraction > 0.0 && work_fraction <= 1.0);
 
     // Linear-scaling-rule variant: scale the step with sqrt(B / B_ref) so
     // the per-epoch update magnitude stays comparable across the Table 2
@@ -45,9 +47,22 @@ Client::localTrain(nn::Model &scratch, util::Rng &rng,
     double loss_sum = 0.0;
     std::size_t steps = 0;
     const std::size_t b = static_cast<std::size_t>(params.batch);
-    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    // A crashing device executes only the leading work_fraction of its
+    // E-epoch step budget; at the default 1.0 max_steps equals the full
+    // budget and the loop runs exactly as before.
+    const std::size_t steps_per_epoch = (shard_.size() + b - 1) / b;
+    const std::size_t total_steps =
+        static_cast<std::size_t>(params.epochs) * steps_per_epoch;
+    const std::size_t max_steps =
+        work_fraction >= 1.0
+            ? total_steps
+            : std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::ceil(
+                         work_fraction * static_cast<double>(total_steps))));
+    for (int epoch = 0; epoch < params.epochs && steps < max_steps; ++epoch) {
         rng.shuffle(order);
-        for (std::size_t start = 0; start < order.size(); start += b) {
+        for (std::size_t start = 0;
+             start < order.size() && steps < max_steps; start += b) {
             const std::size_t end = std::min(start + b, order.size());
             batch_idx.assign(order.begin() + static_cast<long>(start),
                              order.begin() + static_cast<long>(end));

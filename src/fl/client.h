@@ -88,10 +88,17 @@ class Client
      * @param dataset  Shared training data store.
      * @param params   Per-device (B, E).
      * @param lr       SGD learning rate eta.
+     * @param work_fraction Fraction of the E-epoch step budget actually
+     *                 executed — a crashing device (fault injection)
+     *                 really trains up to its crash point, so its
+     *                 partial report carries a real loss. 1 (the
+     *                 default) runs the full budget and is bit-identical
+     *                 to the pre-fault code path.
      */
     UpdateResult localTrain(nn::Model &scratch, util::Rng &rng,
                             const data::Dataset &dataset,
-                            const PerDeviceParams &params, double lr) const;
+                            const PerDeviceParams &params, double lr,
+                            double work_fraction = 1.0) const;
 
   private:
     std::size_t id_;

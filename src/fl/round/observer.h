@@ -33,17 +33,33 @@ enum class Stage
     Select,    //!< choose K participants + per-device (B, E)
     Train,     //!< real local SGD, fanned over the worker pool
     Cost,      //!< analytic per-device time/energy (Eqs. 2-3)
+    Recover,   //!< RecoveryPolicy: upload retries, backoff, give-ups
     Straggler, //!< StragglerPolicy: drops/scaling + round gating time
-    Aggregate, //!< divergence rejection + Aggregator
+    Aggregate, //!< divergence rejection + quorum gate + Aggregator
     Energy,    //!< wait energy + fleet-wide bookkeeping (Eqs. 4-6)
     Evaluate,  //!< test-set accuracy/loss + train-loss summary
 };
 
 /** Number of pipeline stages. */
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 8;
 
 /** Short stable label for a stage ("select", "train", ...). */
 const char *stageName(Stage stage);
+
+/**
+ * One injected fault, reported as it is handled. Offline events fire
+ * during the Select stage (before onRoundStart); Crash events during
+ * the Cost stage; UploadRetry/UploadExhausted during the Recover
+ * stage.
+ */
+struct FaultEvent
+{
+    std::size_t client_id = 0;
+    fault::FaultKind kind = fault::FaultKind::Offline;
+    int attempt = 0;       //!< 1-based failed upload attempt (uploads)
+    double backoff_s = 0.0; //!< wait before the retry (UploadRetry)
+    double fraction = 0.0;  //!< completed-work fraction (Crash)
+};
 
 /**
  * Receiver of round-pipeline events. All handlers default to no-ops so
@@ -82,12 +98,24 @@ class RoundObserver
         (void)report;
     }
 
-    /** The Aggregate stage finished. */
+    /** The Aggregate stage finished (not fired on an aborted round). */
     virtual void
     onAggregate(const RoundContext &ctx, const AggregationStats &stats)
     {
         (void)ctx;
         (void)stats;
+    }
+
+    /**
+     * One injected fault was handled. Fires on the caller thread as
+     * the owning stage processes the fault; Offline events precede
+     * onRoundStart (the fleet is still being assembled).
+     */
+    virtual void
+    onFault(const RoundContext &ctx, const FaultEvent &event)
+    {
+        (void)ctx;
+        (void)event;
     }
 
     /** The round is complete; the result is fully populated. */

@@ -1,0 +1,72 @@
+#include "fl/round/recovery_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+RetryBackoffPolicy::RetryBackoffPolicy(const fault::FaultConfig &config)
+    : config_(config)
+{
+}
+
+std::vector<FaultEvent>
+RetryBackoffPolicy::apply(RoundContext &ctx)
+{
+    std::vector<FaultEvent> events;
+    if (ctx.faults.empty())
+        return events;
+    assert(ctx.faults.size() == ctx.result.participants.size());
+    assert(ctx.cost_const != nullptr);
+
+    for (std::size_t i = 0; i < ctx.result.participants.size(); ++i) {
+        ClientRoundReport &p = ctx.result.participants[i];
+        const int failures = ctx.faults[i].upload_failures;
+        // Offline/crashed devices never reached the upload; kept
+        // devices with a clean first attempt have nothing to recover.
+        if (p.dropped || failures == 0)
+            continue;
+
+        // Attempt 1's airtime is part of the modeled base cost. Every
+        // failed attempt triggers one retransmission after a capped
+        // exponential backoff, up to the retry budget.
+        const int retries = std::min(failures, config_.max_upload_retries);
+        const device::TxCost tx =
+            device::uploadCost(*ctx.cost_const, ctx.param_bytes, p.network);
+        for (int k = 0; k < retries; ++k) {
+            const double wait = fault::FaultModel::backoff(config_, k);
+            p.cost.t_comm += wait + tx.time;
+            p.cost.t_round += wait + tx.time;
+            p.cost.e_comm += tx.energy;
+            p.cost.e_total += tx.energy;
+            FaultEvent event;
+            event.client_id = p.client_id;
+            event.kind = fault::FaultKind::UploadRetry;
+            event.attempt = k + 1;
+            event.backoff_s = wait;
+            events.push_back(event);
+        }
+        p.upload_retries = retries;
+        ctx.result.upload_retries += static_cast<std::size_t>(retries);
+
+        if (failures > config_.max_upload_retries) {
+            // The final attempt failed too: the update is lost. The
+            // energy stays charged — the radio really burned it.
+            p.dropped = true;
+            p.drop_reason = DropReason::UploadFailed;
+            ++ctx.result.dropped_upload;
+            FaultEvent event;
+            event.client_id = p.client_id;
+            event.kind = fault::FaultKind::UploadExhausted;
+            event.attempt = retries + 1;
+            events.push_back(event);
+        }
+    }
+    return events;
+}
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo

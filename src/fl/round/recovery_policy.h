@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pluggable upload-failure recovery for the round pipeline.
+ *
+ * After the Cost stage has modeled each participant's baseline round
+ * cost, a RecoveryPolicy decides how the server handles transient
+ * upload failures drawn by the fault model: the default
+ * RetryBackoffPolicy retries with capped exponential backoff, charging
+ * each retransmission's modeled airtime and radio energy (Eq. 3 on the
+ * upload payload) into the client's RoundCost — so a flaky uplink makes
+ * a device slower and hungrier, exactly the coupling the straggler
+ * policy then acts on — and gives the client up (DropReason::
+ * UploadFailed) once the retry budget is exhausted.
+ */
+
+#ifndef FEDGPO_FL_ROUND_RECOVERY_POLICY_H_
+#define FEDGPO_FL_ROUND_RECOVERY_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "fl/round/observer.h"
+#include "fl/round/round_context.h"
+
+namespace fedgpo {
+namespace fl {
+namespace round {
+
+/**
+ * Strategy applied after the Cost stage (before straggler handling, so
+ * retry delays count toward the deadline).
+ *
+ * Contract: reads ctx.faults (no-op when empty), may add retry time and
+ * energy to participant costs, mark participants dropped
+ * (DropReason::UploadFailed, ctx.result.dropped_upload), and count
+ * retransmissions in ctx.result.upload_retries / per-report
+ * upload_retries. Returns the fault events it handled, in a
+ * deterministic order; the engine forwards them to observers.
+ */
+class RecoveryPolicy
+{
+  public:
+    virtual ~RecoveryPolicy() = default;
+
+    /** Display name ("retry_backoff"). */
+    virtual std::string name() const = 0;
+
+    /** Apply the policy; returns the handled fault events in order. */
+    virtual std::vector<FaultEvent> apply(RoundContext &ctx) = 0;
+};
+
+/**
+ * Retry with capped exponential backoff. Attempt 1's airtime is already
+ * part of the modeled round cost; each failed attempt costs one full
+ * upload retransmission (airtime + radio energy at the device's current
+ * signal) plus the backoff wait before it, all added to the client's
+ * round wall clock. A client whose failures exceed the retry budget is
+ * dropped — its energy stays charged (the radio really burned it).
+ */
+class RetryBackoffPolicy : public RecoveryPolicy
+{
+  public:
+    explicit RetryBackoffPolicy(const fault::FaultConfig &config);
+
+    std::string name() const override { return "retry_backoff"; }
+    std::vector<FaultEvent> apply(RoundContext &ctx) override;
+
+    int maxRetries() const { return config_.max_upload_retries; }
+
+  private:
+    fault::FaultConfig config_;
+};
+
+} // namespace round
+} // namespace fl
+} // namespace fedgpo
+
+#endif // FEDGPO_FL_ROUND_RECOVERY_POLICY_H_

@@ -1,8 +1,8 @@
 /**
  * @file
  * The mutable state of one aggregation round as it flows through the
- * RoundEngine's stage sequence (Select -> Train -> Cost -> Straggler ->
- * Aggregate -> Energy -> Evaluate).
+ * RoundEngine's stage sequence (Select -> Train -> Cost -> Recover ->
+ * Straggler -> Aggregate -> Energy -> Evaluate).
  *
  * The context points (non-owning) into the simulator that spawned the
  * round; stage strategies read and mutate only their slice of it. Unit
@@ -20,6 +20,7 @@
 
 #include "data/dataset.h"
 #include "device/cost_model.h"
+#include "fault/fault_model.h"
 #include "fl/client.h"
 #include "fl/types.h"
 #include "nn/model.h"
@@ -48,6 +49,20 @@ struct RoundContext
      */
     std::vector<util::Rng> train_rngs;
 
+    /**
+     * Per-participant fault outcomes, parallel to `selected`. Drawn by
+     * the Select stage on the caller thread when a fault model is
+     * attached; empty otherwise (the zero-overhead default).
+     */
+    std::vector<fault::FaultDraw> faults;
+
+    /**
+     * The cohort size the Select stage originally requested (K), before
+     * offline devices and their replacements grew `selected`. The
+     * quorum gate measures kept updates against this.
+     */
+    std::size_t requested_k = 0;
+
     // ---- Simulator state (non-owning). ---------------------------------
 
     std::vector<Client> *clients = nullptr;        //!< whole fleet
@@ -57,6 +72,7 @@ struct RoundContext
     runtime::ThreadPool *pool = nullptr;
     runtime::WorkerContextPool *workers = nullptr;
     const device::WorkloadCost *cost_const = nullptr;
+    const fault::FaultModel *fault_model = nullptr; //!< null = no faults
     std::uint64_t train_flops = 0; //!< proxy-model FLOPs per sample
     std::size_t param_bytes = 0;   //!< one-way payload
     double lr = 0.0;               //!< effective learning rate
@@ -65,6 +81,14 @@ struct RoundContext
 
     /** Fills `selected`, `params`, and `train_rngs` (the Select stage). */
     std::function<void(RoundContext &)> select;
+
+    /**
+     * Appends a replacement participant for the offline device at
+     * `selected[slot]` (new id, a copy of the slot's params, and the
+     * replacement's own training stream). Returns false when no
+     * unselected device remains.
+     */
+    std::function<bool(RoundContext &, std::size_t slot)> replace;
 
     /** Evaluates the global model on the held-out test set. */
     std::function<nn::Model::EvalResult()> evaluate;

@@ -23,6 +23,8 @@ stageName(Stage stage)
         return "train";
       case Stage::Cost:
         return "cost";
+      case Stage::Recover:
+        return "recover";
       case Stage::Straggler:
         return "straggler";
       case Stage::Aggregate:
@@ -65,10 +67,15 @@ rejectDivergedUpdates(RoundContext &ctx)
 }
 
 RoundEngine::RoundEngine(std::unique_ptr<Aggregator> aggregator,
-                         std::unique_ptr<StragglerPolicy> straggler)
-    : aggregator_(std::move(aggregator)), straggler_(std::move(straggler))
+                         std::unique_ptr<StragglerPolicy> straggler,
+                         std::unique_ptr<RecoveryPolicy> recovery)
+    : aggregator_(std::move(aggregator)), straggler_(std::move(straggler)),
+      recovery_(std::move(recovery))
 {
     assert(aggregator_ != nullptr && straggler_ != nullptr);
+    if (recovery_ == nullptr)
+        recovery_ =
+            std::make_unique<RetryBackoffPolicy>(fault::FaultConfig{});
 }
 
 void
@@ -83,6 +90,20 @@ RoundEngine::setStragglerPolicy(std::unique_ptr<StragglerPolicy> straggler)
 {
     assert(straggler != nullptr);
     straggler_ = std::move(straggler);
+}
+
+void
+RoundEngine::setRecoveryPolicy(std::unique_ptr<RecoveryPolicy> recovery)
+{
+    assert(recovery != nullptr);
+    recovery_ = std::move(recovery);
+}
+
+void
+RoundEngine::fireFault(const RoundContext &ctx, const FaultEvent &event)
+{
+    for (RoundObserver *o : observers_)
+        o->onFault(ctx, event);
 }
 
 void
@@ -121,6 +142,7 @@ RoundEngine::run(RoundContext &ctx)
         o->onRoundStart(ctx);
     timed(Stage::Train, [this](RoundContext &c) { stageTrain(c); });
     timed(Stage::Cost, [this](RoundContext &c) { stageCost(c); });
+    timed(Stage::Recover, [this](RoundContext &c) { stageRecover(c); });
     timed(Stage::Straggler,
           [this](RoundContext &c) { stageStraggler(c); });
     timed(Stage::Aggregate,
@@ -143,6 +165,33 @@ RoundEngine::stageSelect(RoundContext &ctx)
         ctx.select(ctx);
     assert(ctx.selected.size() == ctx.params.size());
     assert(ctx.train_rngs.size() == ctx.selected.size());
+    ctx.requested_k = ctx.selected.size();
+
+    if (ctx.fault_model == nullptr || !ctx.fault_model->active())
+        return;
+
+    // Draw each participant's fault outcome (caller thread; the draw is
+    // a pure function of (seed, round, client), so thread count is
+    // irrelevant). An offline device never starts — the server
+    // over-provisions by redrawing a replacement, which gets its own
+    // draw as the loop reaches the appended slot; replacement stops
+    // only when the fleet has no unselected device left.
+    for (std::size_t i = 0; i < ctx.selected.size(); ++i) {
+        ctx.faults.push_back(
+            ctx.fault_model->draw(ctx.round, ctx.selected[i]));
+        if (!ctx.faults[i].offline)
+            continue;
+        ++ctx.result.dropped_offline;
+        FaultEvent event;
+        event.client_id = ctx.selected[i];
+        event.kind = fault::FaultKind::Offline;
+        fireFault(ctx, event);
+        if (ctx.replace)
+            ctx.replace(ctx, i);
+    }
+    assert(ctx.faults.size() == ctx.selected.size());
+    assert(ctx.params.size() == ctx.selected.size());
+    assert(ctx.train_rngs.size() == ctx.selected.size());
 }
 
 void
@@ -162,11 +211,23 @@ RoundEngine::stageTrain(RoundContext &ctx)
     ctx.updates.resize(ctx.selected.size());
     ctx.pool->parallelFor(
         ctx.selected.size(), [&ctx](std::size_t i, std::size_t worker) {
+            // Fault handling (decided pre-dispatch, so still
+            // scheduling-independent): an offline device never trains;
+            // a crashing device really runs SGD up to its sampled
+            // completed-work fraction, so its partial report carries a
+            // real loss even though the update itself is lost.
+            double work_fraction = 1.0;
+            if (!ctx.faults.empty()) {
+                if (ctx.faults[i].offline)
+                    return;
+                if (ctx.faults[i].crash)
+                    work_fraction = ctx.faults[i].crash_fraction;
+            }
             nn::Model &scratch = *ctx.workers->acquire(worker).model;
             scratch.loadParams(*ctx.global_weights);
             ctx.updates[i] = (*ctx.clients)[ctx.selected[i]].localTrain(
                 scratch, ctx.train_rngs[i], *ctx.train_set, ctx.params[i],
-                ctx.lr);
+                ctx.lr, work_fraction);
         });
 }
 
@@ -196,8 +257,50 @@ RoundEngine::stageCost(RoundContext &ctx)
         report.cost = device::clientRoundCost(
             device::profileFor(c.category()), *ctx.cost_const, work,
             c.interference(), c.network());
+
+        if (!ctx.faults.empty()) {
+            const fault::FaultDraw &draw = ctx.faults[i];
+            if (draw.offline) {
+                // Never reached: no work, no traffic, no energy.
+                report.cost = device::RoundCost{};
+                report.dropped = true;
+                report.drop_reason = DropReason::Offline;
+                report.update_scale = 0.0;
+            } else if (draw.crash) {
+                // Crashed after the download, at crash_fraction of the
+                // local work: charge the completed compute and the
+                // download half of the exchange; the upload never
+                // happened. The update is lost, but the report
+                // surfaces the completed fraction via update_scale.
+                const double f = draw.crash_fraction;
+                report.cost.t_comp *= f;
+                report.cost.e_comp *= f;
+                report.cost.t_comm *= 0.5;
+                report.cost.e_comm *= 0.5;
+                report.cost.t_round =
+                    report.cost.t_comp + report.cost.t_comm;
+                report.cost.e_total =
+                    report.cost.e_comp + report.cost.e_comm;
+                report.dropped = true;
+                report.drop_reason = DropReason::Crashed;
+                report.update_scale = f;
+                ++ctx.result.dropped_crashed;
+                FaultEvent event;
+                event.client_id = report.client_id;
+                event.kind = fault::FaultKind::Crash;
+                event.fraction = f;
+                fireFault(ctx, event);
+            }
+        }
         ctx.result.participants.push_back(std::move(report));
     }
+}
+
+void
+RoundEngine::stageRecover(RoundContext &ctx)
+{
+    for (const FaultEvent &event : recovery_->apply(ctx))
+        fireFault(ctx, event);
 }
 
 void
@@ -210,6 +313,35 @@ void
 RoundEngine::stageAggregate(RoundContext &ctx)
 {
     rejectDivergedUpdates(ctx);
+
+    // Quorum gate: when dropout leaves fewer kept updates than the
+    // configured fraction of the requested cohort K, aggregating would
+    // fold a tiny, biased sample into the global model — abort the
+    // round instead. The global weights stay untouched; the energy the
+    // fleet burned is still charged in the Energy stage (a real server
+    // cannot refund it), and the optimizer sees the abort via
+    // RoundResult::aborted.
+    if (ctx.fault_model != nullptr &&
+        ctx.fault_model->config().quorum_fraction > 0.0) {
+        std::size_t kept = 0;
+        for (const auto &p : ctx.result.participants)
+            if (!p.dropped)
+                ++kept;
+        const double needed =
+            ctx.fault_model->config().quorum_fraction *
+            static_cast<double>(ctx.requested_k);
+        if (static_cast<double>(kept) < needed) {
+            ctx.result.aborted = true;
+            ctx.result.samples_aggregated = 0;
+            util::logWarn(
+                "round " + std::to_string(ctx.round) + ": aborted — " +
+                std::to_string(kept) + "/" +
+                std::to_string(ctx.requested_k) +
+                " updates kept, quorum needs " + std::to_string(needed));
+            return;
+        }
+    }
+
     const AggregationStats stats = aggregator_->aggregate(ctx);
     ctx.result.samples_aggregated = stats.samples;
     for (RoundObserver *o : observers_)
@@ -225,11 +357,14 @@ RoundEngine::stageEnergy(RoundContext &ctx)
     // Participants that finished early wait for the round's stragglers
     // with the runtime and connection held open — the redundant energy
     // adaptive per-device parameters remove (paper Fig. 5). Clients
-    // dropped for divergence waited like everyone else; only
-    // straggler-dropped devices already disconnected at the deadline.
+    // dropped for divergence waited like everyone else; straggler-
+    // dropped devices already disconnected at the deadline, and
+    // fault-dropped ones (offline, crashed, upload given up) have no
+    // live session left to hold open.
     for (auto &p : result.participants) {
-        if (p.drop_reason != DropReason::Straggler &&
-            p.cost.t_round < result.round_time) {
+        const bool waits =
+            !p.dropped || p.drop_reason == DropReason::Diverged;
+        if (waits && p.cost.t_round < result.round_time) {
             device::PowerModel power(device::profileFor(p.category));
             p.cost.e_wait =
                 power.waitPower() * (result.round_time - p.cost.t_round);

@@ -3,13 +3,20 @@
  * The staged round engine: Algorithm 1's server loop decomposed into an
  * explicit stage sequence over a RoundContext —
  *
- *   Select -> Train -> Cost -> Straggler -> Aggregate -> Energy -> Evaluate
+ *   Select -> Train -> Cost -> Recover -> Straggler -> Aggregate
+ *          -> Energy -> Evaluate
  *
- * with the two policy-bearing stages (straggler handling, aggregation)
- * pluggable and every stage reported to registered RoundObservers. With
- * the default strategies (FedAvgAggregator + DeadlineDropPolicy) the
- * engine is bit-identical to the monolithic round loop it replaced,
- * asserted by tests/round_golden_test.cc.
+ * with the three policy-bearing stages (upload recovery, straggler
+ * handling, aggregation) pluggable and every stage reported to
+ * registered RoundObservers. When the context carries a FaultModel the
+ * engine additionally injects and handles per-(round, client) faults:
+ * offline devices are replaced at selection, crashed clients surface as
+ * partial (dropped) reports, failed uploads are retried by the
+ * RecoveryPolicy, and a quorum gate aborts the round before aggregation
+ * when too few updates survive. With the default strategies
+ * (FedAvgAggregator + DeadlineDropPolicy) and no fault model the engine
+ * is bit-identical to the monolithic round loop it replaced, asserted
+ * by tests/round_golden_test.cc.
  */
 
 #ifndef FEDGPO_FL_ROUND_ROUND_ENGINE_H_
@@ -20,6 +27,7 @@
 
 #include "fl/round/aggregator.h"
 #include "fl/round/observer.h"
+#include "fl/round/recovery_policy.h"
 #include "fl/round/round_context.h"
 #include "fl/round/straggler_policy.h"
 
@@ -43,18 +51,27 @@ std::size_t rejectDivergedUpdates(RoundContext &ctx);
 class RoundEngine
 {
   public:
-    /** Both strategies are required (non-null). */
+    /**
+     * Both strategies are required (non-null). The recovery policy
+     * defaults to RetryBackoffPolicy with the default FaultConfig; it
+     * only acts when the context carries fault draws.
+     */
     RoundEngine(std::unique_ptr<Aggregator> aggregator,
-                std::unique_ptr<StragglerPolicy> straggler);
+                std::unique_ptr<StragglerPolicy> straggler,
+                std::unique_ptr<RecoveryPolicy> recovery = nullptr);
 
     Aggregator &aggregator() { return *aggregator_; }
     StragglerPolicy &stragglerPolicy() { return *straggler_; }
+    RecoveryPolicy &recoveryPolicy() { return *recovery_; }
 
     /** Swap the aggregation strategy (takes effect next round). */
     void setAggregator(std::unique_ptr<Aggregator> aggregator);
 
     /** Swap the straggler strategy (takes effect next round). */
     void setStragglerPolicy(std::unique_ptr<StragglerPolicy> straggler);
+
+    /** Swap the upload-recovery strategy (takes effect next round). */
+    void setRecoveryPolicy(std::unique_ptr<RecoveryPolicy> recovery);
 
     /** Register an observer (non-owning; must outlive the engine use). */
     void addObserver(RoundObserver *observer);
@@ -73,13 +90,18 @@ class RoundEngine
     void stageSelect(RoundContext &ctx);
     void stageTrain(RoundContext &ctx);
     void stageCost(RoundContext &ctx);
+    void stageRecover(RoundContext &ctx);
     void stageStraggler(RoundContext &ctx);
     void stageAggregate(RoundContext &ctx);
     void stageEnergy(RoundContext &ctx);
     void stageEvaluate(RoundContext &ctx);
 
+    /** Forward one fault event to every observer. */
+    void fireFault(const RoundContext &ctx, const FaultEvent &event);
+
     std::unique_ptr<Aggregator> aggregator_;
     std::unique_ptr<StragglerPolicy> straggler_;
+    std::unique_ptr<RecoveryPolicy> recovery_;
     std::vector<RoundObserver *> observers_;
 };
 

@@ -10,14 +10,23 @@ namespace round {
 
 namespace {
 
-/** deadline_factor x the median modeled finish time of the round. */
+/**
+ * deadline_factor x the median modeled finish time of the round's live
+ * participants. Devices already dropped by fault injection (offline,
+ * crashed, upload given up) never report a finish time to the server,
+ * so they are excluded; with faults off nobody is dropped yet and this
+ * is the plain median. 0 when no live participant remains.
+ */
 double
 roundDeadline(const RoundContext &ctx, double deadline_factor)
 {
     std::vector<double> times;
     times.reserve(ctx.result.participants.size());
     for (const auto &p : ctx.result.participants)
-        times.push_back(p.cost.t_round);
+        if (!p.dropped)
+            times.push_back(p.cost.t_round);
+    if (times.empty())
+        return 0.0;
     return deadline_factor * util::quantile(std::move(times), 0.5);
 }
 
@@ -46,6 +55,8 @@ DeadlineDropPolicy::apply(RoundContext &ctx)
     const double deadline = roundDeadline(ctx, deadline_factor_);
     double round_time = 0.0;
     for (auto &p : ctx.result.participants) {
+        if (p.dropped)
+            continue; // fault-dropped: never gated the server
         if (p.cost.t_round > deadline) {
             p.dropped = true;
             p.drop_reason = DropReason::Straggler;
@@ -70,6 +81,8 @@ AcceptPartialPolicy::apply(RoundContext &ctx)
     const double deadline = roundDeadline(ctx, deadline_factor_);
     double round_time = 0.0;
     for (auto &p : ctx.result.participants) {
+        if (p.dropped)
+            continue; // fault-dropped: never gated the server
         if (p.cost.t_round > deadline) {
             const double frac = deadline / p.cost.t_round;
             p.update_scale = frac;

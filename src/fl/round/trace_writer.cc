@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/logging.h"
+
 namespace fedgpo {
 namespace fl {
 namespace round {
@@ -20,8 +22,20 @@ num(double v)
 } // namespace
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string &path)
-    : out_(path, std::ios::trunc)
+    : out_(path, std::ios::trunc), path_(path)
 {
+    if (!out_.good())
+        warnOnce("could not open trace file");
+}
+
+void
+JsonlTraceWriter::warnOnce(const char *what)
+{
+    if (warned_)
+        return;
+    warned_ = true;
+    util::logWarn("JsonlTraceWriter: " + std::string(what) + " '" + path_ +
+                  "'; trace output will be incomplete");
 }
 
 void
@@ -51,8 +65,23 @@ JsonlTraceWriter::onClientReport(const RoundContext &ctx,
     r += ",\"reason\":\"" +
          std::string(dropReasonName(report.drop_reason)) + "\"";
     r += ",\"update_scale\":" + num(report.update_scale);
+    r += ",\"retries\":" + std::to_string(report.upload_retries);
     r += "}";
     client_records_.push_back(std::move(r));
+}
+
+void
+JsonlTraceWriter::onFault(const RoundContext &ctx, const FaultEvent &event)
+{
+    (void)ctx;
+    std::string r = "{\"id\":" + std::to_string(event.client_id);
+    r += ",\"kind\":\"" + std::string(fault::faultKindName(event.kind)) +
+         "\"";
+    r += ",\"attempt\":" + std::to_string(event.attempt);
+    r += ",\"backoff\":" + num(event.backoff_s);
+    r += ",\"fraction\":" + num(event.fraction);
+    r += "}";
+    fault_records_.push_back(std::move(r));
 }
 
 void
@@ -87,6 +116,18 @@ JsonlTraceWriter::onRoundEnd(const RoundResult &result)
     out_ << ",\"energy_total\":" << num(result.energy_total);
     out_ << ",\"dropped_straggler\":" << result.dropped_straggler;
     out_ << ",\"dropped_diverged\":" << result.dropped_diverged;
+    out_ << ",\"dropped_offline\":" << result.dropped_offline;
+    out_ << ",\"dropped_crashed\":" << result.dropped_crashed;
+    out_ << ",\"dropped_upload\":" << result.dropped_upload;
+    out_ << ",\"upload_retries\":" << result.upload_retries;
+    out_ << ",\"aborted\":" << (result.aborted ? "true" : "false");
+    out_ << ",\"faults\":[";
+    for (std::size_t i = 0; i < fault_records_.size(); ++i) {
+        if (i > 0)
+            out_ << ",";
+        out_ << fault_records_[i];
+    }
+    out_ << "]";
     out_ << ",\"clients\":[";
     for (std::size_t i = 0; i < client_records_.size(); ++i) {
         if (i > 0)
@@ -95,10 +136,13 @@ JsonlTraceWriter::onRoundEnd(const RoundResult &result)
     }
     out_ << "]}\n";
     out_.flush();
+    if (!out_.good())
+        warnOnce("write failed on trace file");
     ++rounds_written_;
 
     stage_ms_.fill(0.0);
     client_records_.clear();
+    fault_records_.clear();
     stats_ = AggregationStats{};
 }
 

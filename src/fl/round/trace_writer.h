@@ -2,9 +2,9 @@
  * @file
  * RoundObserver that streams the round-event stream to disk as JSON
  * Lines: one self-contained JSON object per aggregation round, carrying
- * per-stage host timings, the aggregation stats, the round summary, and
- * one record per participating client. See README ("Round traces") for
- * the record schema.
+ * per-stage host timings, the aggregation stats, the round summary,
+ * fault events, and one record per participating client. See README
+ * ("Round traces") for the record schema.
  */
 
 #ifndef FEDGPO_FL_ROUND_TRACE_WRITER_H_
@@ -24,6 +24,8 @@ namespace round {
 /**
  * JSONL trace writer. Buffers one round's events and emits a single line
  * at onRoundEnd; flushes on every line so traces survive a crashed run.
+ * An unopenable path or a failed write logs one warning (never fatal —
+ * tracing must not kill a campaign) and drops subsequent output.
  */
 class JsonlTraceWriter : public RoundObserver
 {
@@ -41,14 +43,21 @@ class JsonlTraceWriter : public RoundObserver
                  double wall_ms) override;
     void onClientReport(const RoundContext &ctx,
                         const ClientRoundReport &report) override;
+    void onFault(const RoundContext &ctx, const FaultEvent &event) override;
     void onAggregate(const RoundContext &ctx,
                      const AggregationStats &stats) override;
     void onRoundEnd(const RoundResult &result) override;
 
   private:
+    /** Warn once (with the path) when output is lost; keep running. */
+    void warnOnce(const char *what);
+
     std::ofstream out_;
+    std::string path_;
+    bool warned_ = false;
     std::array<double, kStageCount> stage_ms_{};
     std::vector<std::string> client_records_;
+    std::vector<std::string> fault_records_;
     AggregationStats stats_;
     std::size_t rounds_written_ = 0;
 };

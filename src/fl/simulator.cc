@@ -34,6 +34,7 @@ makeTrainSet(models::Workload w, std::size_t n, util::Rng &rng)
 
 FlSimulator::FlSimulator(const FlConfig &config)
     : config_(config), rng_(config.seed),
+      fault_model_(config.faults, config.seed),
       network_model_(config.network_unstable)
 {
     if (config_.n_devices == 0)
@@ -84,11 +85,13 @@ FlSimulator::FlSimulator(const FlConfig &config)
             return models::buildModel(workload, seed ^ 7);
         });
 
-    // Round pipeline with the paper's default strategies.
+    // Round pipeline with the paper's default strategies; upload
+    // recovery follows the configured fault knobs (inert by default).
     engine_ = std::make_unique<round::RoundEngine>(
         std::make_unique<round::FedAvgAggregator>(),
         std::make_unique<round::DeadlineDropPolicy>(
-            config_.deadline_factor));
+            config_.deadline_factor),
+        std::make_unique<round::RetryBackoffPolicy>(config_.faults));
 
     // Partition the training data over the fleet.
     util::Rng part_rng = rng_.split(2);
@@ -111,8 +114,16 @@ FlSimulator::FlSimulator(const FlConfig &config)
 std::vector<std::size_t>
 FlSimulator::selectClients(int k)
 {
-    const int capped =
-        std::clamp(k, 1, static_cast<int>(clients_.size()));
+    const int fleet = static_cast<int>(clients_.size());
+    if (k > fleet) {
+        util::logWarn("selectClients: requested K=" + std::to_string(k) +
+                      " exceeds fleet size " + std::to_string(fleet) +
+                      "; clamping to the fleet");
+    } else if (k < 1) {
+        util::logWarn("selectClients: requested K=" + std::to_string(k) +
+                      " is not positive; clamping to 1");
+    }
+    const int capped = std::clamp(k, 1, fleet);
     return rng_.sampleWithoutReplacement(static_cast<std::size_t>(capped),
                                          clients_.size());
 }
@@ -174,7 +185,45 @@ FlSimulator::makeRoundContext()
     ctx.param_bytes = param_bytes_;
     ctx.lr = lr_;
     ctx.evaluate = [this] { return evaluateGlobal(); };
+    if (fault_model_.active()) {
+        ctx.fault_model = &fault_model_;
+        // Replacement draw for a device found offline at selection: pick
+        // uniformly among the not-yet-selected fleet, inheriting the
+        // offline slot's parameter assignment. Consumes rng_ only when a
+        // fault actually fired, so the zero-fault selection stream is
+        // untouched. False once the fleet is exhausted.
+        ctx.replace = [this](round::RoundContext &c, std::size_t slot) {
+            std::vector<bool> taken(clients_.size(), false);
+            for (std::size_t id : c.selected)
+                taken[id] = true;
+            std::vector<std::size_t> candidates;
+            candidates.reserve(clients_.size() - c.selected.size());
+            for (std::size_t id = 0; id < clients_.size(); ++id)
+                if (!taken[id])
+                    candidates.push_back(id);
+            if (candidates.empty())
+                return false;
+            const std::size_t id = candidates[rng_.index(candidates.size())];
+            c.selected.push_back(id);
+            c.params.push_back(c.params[slot]);
+            c.train_rngs.push_back(trainRng(id));
+            return true;
+        };
+    }
     return ctx;
+}
+
+void
+FlSimulator::validateParams(const std::vector<PerDeviceParams> &params) const
+{
+    for (const PerDeviceParams &p : params) {
+        if (p.batch < 1 || p.epochs < 1) {
+            util::fatal("FlSimulator: per-device parameters must be "
+                        "positive, got B=" +
+                        std::to_string(p.batch) +
+                        " E=" + std::to_string(p.epochs));
+        }
+    }
 }
 
 void
@@ -196,6 +245,7 @@ FlSimulator::runRound(optim::ParamOptimizer &policy)
         auto observations = observe(c.selected);
         c.params = policy.assign(observations, census_);
         assert(c.params.size() == c.selected.size());
+        validateParams(c.params);
         fillTrainRngs(c);
     };
     RoundResult result = engine_->run(ctx);
@@ -207,6 +257,11 @@ FlSimulator::runRound(optim::ParamOptimizer &policy)
 RoundResult
 FlSimulator::runRoundWithParams(const GlobalParams &params)
 {
+    if (params.batch < 1 || params.epochs < 1) {
+        util::fatal("runRoundWithParams: B and E must be positive, got B=" +
+                    std::to_string(params.batch) +
+                    " E=" + std::to_string(params.epochs));
+    }
     round::RoundContext ctx = makeRoundContext();
     ctx.select = [this, &params](round::RoundContext &c) {
         c.selected = selectClients(params.clients);

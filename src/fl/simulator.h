@@ -8,9 +8,10 @@
  * time and energy come from the device cost model (Eqs. 2-4), never from
  * host timing. One simulator instance owns the global model, the fleet,
  * the shared data store, and a round::RoundEngine that executes each
- * round as a staged pipeline (Select -> Train -> Cost -> Straggler ->
- * Aggregate -> Energy -> Evaluate) with pluggable aggregation/straggler
- * strategies and an observer event stream.
+ * round as a staged pipeline (Select -> Train -> Cost -> Recover ->
+ * Straggler -> Aggregate -> Energy -> Evaluate) with pluggable
+ * aggregation/recovery/straggler strategies, seeded fault injection
+ * (FlConfig::faults; inert by default), and an observer event stream.
  */
 
 #ifndef FEDGPO_FL_SIMULATOR_H_
@@ -22,6 +23,7 @@
 #include "data/dataset.h"
 #include "data/partition.h"
 #include "device/network_model.h"
+#include "fault/fault_model.h"
 #include "fl/client.h"
 #include "fl/round/round_engine.h"
 #include "fl/types.h"
@@ -51,6 +53,13 @@ struct FlConfig
     std::uint64_t seed = 42;
     double lr = 0.0;                  //!< 0 = workload default
     std::size_t eval_batch = 64;
+
+    /**
+     * Seeded fault injection (offline / crash / upload-failure rates,
+     * retry budget, quorum gate). All rates default to 0, which keeps
+     * the round pipeline bit-identical to a fault-free build.
+     */
+    fault::FaultConfig faults;
 
     /**
      * Worker threads for parallel client training (0 = auto: the
@@ -166,6 +175,9 @@ class FlSimulator
     /** Fill ctx.train_rngs for the already-made selection. */
     void fillTrainRngs(round::RoundContext &ctx) const;
 
+    /** Reject non-positive per-device (B, E) with a clear fatal error. */
+    void validateParams(const std::vector<PerDeviceParams> &params) const;
+
     /**
      * Training stream for one client in the current round, derived as
      * split(seed, round, client_id) — a function of (seed, round, client)
@@ -176,6 +188,7 @@ class FlSimulator
 
     FlConfig config_;
     util::Rng rng_;
+    fault::FaultModel fault_model_;
     data::Dataset train_set_;
     data::Dataset test_set_;
     std::unique_ptr<nn::Model> global_model_;

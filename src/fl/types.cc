@@ -23,6 +23,12 @@ dropReasonName(DropReason reason)
         return "straggler";
       case DropReason::Diverged:
         return "diverged";
+      case DropReason::Offline:
+        return "offline";
+      case DropReason::Crashed:
+        return "crashed";
+      case DropReason::UploadFailed:
+        return "upload_failed";
     }
     return "unknown";
 }

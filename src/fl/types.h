@@ -76,12 +76,18 @@ struct DeviceObservation
  */
 enum class DropReason
 {
-    None,      //!< update kept
-    Straggler, //!< exceeded the round deadline (straggler policy)
-    Diverged,  //!< update contained non-finite values (server rejection)
+    None,         //!< update kept
+    Straggler,    //!< exceeded the round deadline (straggler policy)
+    Diverged,     //!< update contained non-finite values (server rejection)
+    Offline,      //!< device unreachable at selection (fault injection)
+    Crashed,      //!< device died mid-training (fault injection)
+    UploadFailed, //!< upload retries exhausted (fault injection)
 };
 
-/** Short stable label for a DropReason ("none"/"straggler"/"diverged"). */
+/**
+ * Short stable label for a DropReason
+ * ("none"/"straggler"/"diverged"/"offline"/"crashed"/"upload_failed").
+ */
 const char *dropReasonName(DropReason reason);
 
 /**
@@ -103,9 +109,15 @@ struct ClientRoundReport
     /**
      * Fraction of this client's update the aggregator blends into the
      * global model. 1 for a full contribution; an AcceptPartialPolicy
-     * sets it to the completed-work fraction of a late client.
+     * sets it to the completed-work fraction of a late client. A
+     * crashed client's report reuses it for the work fraction completed
+     * before the crash (the update itself is dropped), and an offline
+     * device's is 0 (no work happened).
      */
     double update_scale = 1.0;
+
+    /** Upload retransmissions this round (fault injection). */
+    int upload_retries = 0;
 };
 
 /**
@@ -124,13 +136,25 @@ struct RoundResult
     double train_loss = 0.0;          //!< mean over kept participants
     std::size_t dropped_straggler = 0; //!< deadline exceeded
     std::size_t dropped_diverged = 0;  //!< non-finite update rejected
+    std::size_t dropped_offline = 0;   //!< unreachable at selection
+    std::size_t dropped_crashed = 0;   //!< died mid-training
+    std::size_t dropped_upload = 0;    //!< upload retries exhausted
+    std::size_t upload_retries = 0;    //!< total retransmissions
     std::size_t samples_aggregated = 0;
+
+    /**
+     * True when the quorum gate aborted the round before aggregation:
+     * the global weights are untouched, but the energy the fleet burned
+     * is still charged (a real server cannot refund it).
+     */
+    bool aborted = false;
 
     /** Total excluded participants, regardless of cause. */
     std::size_t
     droppedCount() const
     {
-        return dropped_straggler + dropped_diverged;
+        return dropped_straggler + dropped_diverged + dropped_offline +
+               dropped_crashed + dropped_upload;
     }
 
     /**

@@ -14,7 +14,10 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <string>
 #include <thread>
+
+#include "util/logging.h"
 
 namespace fedgpo {
 namespace runtime {
@@ -35,7 +38,8 @@ struct RuntimeConfig
  * Resolve a requested thread count to the effective one.
  *
  * Priority: an explicit positive request wins; then a positive integer in
- * the FEDGPO_THREADS environment variable; then
+ * the FEDGPO_THREADS environment variable (a malformed value is rejected
+ * with a logged warning naming it); then
  * std::thread::hardware_concurrency(); never less than 1.
  */
 inline std::size_t
@@ -48,6 +52,11 @@ resolveThreads(std::size_t requested)
         const unsigned long v = std::strtoul(env, &end, 10);
         if (end != env && *end == '\0' && v > 0)
             return static_cast<std::size_t>(v);
+        util::logWarn("resolveThreads: ignoring malformed FEDGPO_THREADS "
+                      "value '" +
+                      std::string(env) +
+                      "' (want a positive integer); falling back to "
+                      "hardware concurrency");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<std::size_t>(hw) : 1;

@@ -355,9 +355,9 @@ TEST(RoundObserverStream, FullStageSequencePerRound)
     EXPECT_EQ(observer.client_reports, r.participants.size());
     ASSERT_EQ(observer.stages.size(), kStageCount);
     const Stage expected[] = {Stage::Select,    Stage::Train,
-                              Stage::Cost,      Stage::Straggler,
-                              Stage::Aggregate, Stage::Energy,
-                              Stage::Evaluate};
+                              Stage::Cost,      Stage::Recover,
+                              Stage::Straggler, Stage::Aggregate,
+                              Stage::Energy,    Stage::Evaluate};
     for (std::size_t i = 0; i < kStageCount; ++i)
         EXPECT_EQ(observer.stages[i], expected[i]) << "stage " << i;
 
@@ -371,10 +371,14 @@ TEST(RoundObserverStream, StageNamesStable)
 {
     EXPECT_STREQ(stageName(Stage::Select), "select");
     EXPECT_STREQ(stageName(Stage::Train), "train");
+    EXPECT_STREQ(stageName(Stage::Recover), "recover");
     EXPECT_STREQ(stageName(Stage::Evaluate), "evaluate");
     EXPECT_STREQ(dropReasonName(DropReason::None), "none");
     EXPECT_STREQ(dropReasonName(DropReason::Straggler), "straggler");
     EXPECT_STREQ(dropReasonName(DropReason::Diverged), "diverged");
+    EXPECT_STREQ(dropReasonName(DropReason::Offline), "offline");
+    EXPECT_STREQ(dropReasonName(DropReason::Crashed), "crashed");
+    EXPECT_STREQ(dropReasonName(DropReason::UploadFailed), "upload_failed");
 }
 
 // --- JSONL trace writer. ------------------------------------------------
@@ -410,6 +414,10 @@ TEST(JsonlTraceWriter, OneRecordPerRoundWithStageAndClientFields)
         EXPECT_NE(line.find("\"dropped_straggler\""), std::string::npos);
         EXPECT_NE(line.find("\"dropped_diverged\""), std::string::npos);
         EXPECT_NE(line.find("\"update_scale\""), std::string::npos);
+        // Fault fields are present (and inert) with faults off.
+        EXPECT_NE(line.find("\"aborted\":false"), std::string::npos);
+        EXPECT_NE(line.find("\"faults\":[]"), std::string::npos);
+        EXPECT_NE(line.find("\"upload_retries\":0"), std::string::npos);
     }
     EXPECT_EQ(lines, 2u);
     std::remove(path.c_str());
