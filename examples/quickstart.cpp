@@ -8,11 +8,14 @@
  *   ./build/examples/quickstart
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/fedgpo.h"
 #include "fl/round/trace_writer.h"
 #include "fl/simulator.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 
 using namespace fedgpo;
@@ -40,7 +43,12 @@ main()
     //    epsilon=0.1), and stream a per-round JSONL trace alongside the
     //    printed table (see README, "Round traces").
     core::FedGpo policy;
-    fl::round::JsonlTraceWriter trace("quickstart_trace.jsonl");
+    std::string trace_path = "quickstart_trace.jsonl";
+    if (const char *dir = std::getenv("FEDGPO_TRACE_DIR")) {
+        if (*dir != '\0')
+            trace_path = std::string(dir) + "/quickstart_trace.jsonl";
+    }
+    fl::round::JsonlTraceWriter trace(trace_path);
     if (trace.ok())
         sim.addRoundObserver(&trace);
 
@@ -61,7 +69,14 @@ main()
     table.print(std::cout, "FedGPO-driven federated learning");
     if (trace.ok())
         std::cout << "\nWrote " << trace.roundsWritten()
-                  << " round records to quickstart_trace.jsonl\n";
+                  << " round records to " << trace_path << "\n";
+
+    // With FEDGPO_METRICS=basic|profile: print the host-time profile and
+    // write the Prometheus snapshot ($FEDGPO_METRICS_FILE).
+    if (obs::enabled()) {
+        std::cout << "\n";
+        obs::finishRun(&std::cout);
+    }
 
     std::cout << "\nQ-table memory: "
               << static_cast<double>(policy.qTableBytes()) / 1e6

@@ -61,15 +61,34 @@ FedGpo::chooseClients(int max_k)
     }
     const std::size_t state = pending_k_state_;
     std::size_t action;
-    if (k_table_->stateSwept(state))
+    bool explored = false;
+    if (k_table_->stateSwept(state)) {
         action = k_table_->bestAction(state);
-    else if (rng_.uniform() < config_.epsilon)
+    } else if (rng_.uniform() < config_.epsilon) {
         action = rng_.index(kNumClientActions);
-    else
+        explored = true;
+    } else {
         action = k_table_->bestAction(state);
+    }
     pending_k_action_ = action;
     has_pending_k_ = true;
-    return std::min(clientActionValue(action), max_k);
+    const int k = std::min(clientActionValue(action), max_k);
+
+    // Start this round's decision record. Everything recorded below is a
+    // read of already-computed policy state — no RNG draws, no Q writes —
+    // so the record is observationally inert.
+    decision_ = obs::DecisionRecord{};
+    decision_.round = static_cast<int>(rounds_seen_) + 1;
+    decision_.epsilon = config_.epsilon;
+    decision_.k_state = state;
+    decision_.k_action = action;
+    decision_.k_value = k;
+    decision_.k_explored = explored;
+    decision_.k_swept = k_table_->stateSwept(state);
+    decision_.k_qrow.reserve(kNumClientActions);
+    for (std::size_t a = 0; a < kNumClientActions; ++a)
+        decision_.k_qrow.push_back(k_table_->q(state, a));
+    return k;
 }
 
 std::vector<fl::PerDeviceParams>
@@ -77,6 +96,8 @@ FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
                const nn::LayerCensus &census)
 {
     pending_.clear();
+    decision_.devices.clear();
+    decision_.devices.reserve(devices.size());
     std::vector<fl::PerDeviceParams> out;
     out.reserve(devices.size());
     std::size_t data_bucket_sum = 0;
@@ -95,6 +116,7 @@ FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
             static_cast<std::size_t>(obs.category), state);
         const QTable &table = tableFor(obs.category, obs.client_id);
         std::size_t action;
+        bool explored = false;
         if (table.stateSwept(state)) {
             // Learning phase over for this state: exploit the greedy
             // action (paper Section 3.3), with occasional *neighborhood*
@@ -104,6 +126,7 @@ FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
             // exploratory action can inflict on the round.
             action = table.bestAction(state);
             if (rng_.uniform() < config_.epsilon) {
+                explored = true;
                 const auto greedy = deviceActionParams(action);
                 std::vector<std::size_t> neighbors;
                 for (std::size_t a = 0; a < kNumDeviceActions; ++a) {
@@ -123,6 +146,7 @@ FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
             }
         } else if (rng_.uniform() < config_.epsilon) {
             action = rng_.index(kNumDeviceActions);
+            explored = true;
         } else {
             action = table.bestAction(state);
             if (taken[table_key].count(action) != 0) {
@@ -141,6 +165,17 @@ FedGpo::assign(const std::vector<fl::DeviceObservation> &devices,
         taken[table_key].insert(action);
         pending_.push_back(
             Decision{obs.client_id, obs.category, state, action});
+        const auto chosen = deviceActionParams(action);
+        obs::DeviceDecision dd;
+        dd.client_id = obs.client_id;
+        dd.state = state;
+        dd.action = action;
+        dd.batch = chosen.batch;
+        dd.epochs = chosen.epochs;
+        dd.explored = explored;
+        dd.q = table.q(state, action);
+        dd.visits = table.visits(state, action);
+        decision_.devices.push_back(dd);
         out.push_back(deviceActionParams(action));
     }
     // Refresh the global state used by the next chooseClients().
@@ -183,6 +218,8 @@ FedGpo::feedback(const fl::RoundResult &result)
         }
     }
     mean_epochs = kept > 0 ? mean_epochs / static_cast<double>(kept) : 1.0;
+    double device_reward_sum = 0.0;
+    std::size_t devices_rewarded = 0;
     for (const auto &p : result.participants) {
         local_energy_norm_.observe(p.cost.e_total);
         const double e_local = local_energy_norm_.normalize(p.cost.e_total);
@@ -214,6 +251,8 @@ FedGpo::feedback(const fl::RoundResult &result)
                     1.0 / (1.0 + table.visits(d.state, d.action)));
                 table.update(d.state, d.action, reward, d.state, gamma,
                              config_.mu);
+                device_reward_sum += reward;
+                ++devices_rewarded;
                 break;
             }
         }
@@ -227,15 +266,30 @@ FedGpo::feedback(const fl::RoundResult &result)
     if (has_pending_k_) {
         RewardConfig k_reward = config_.reward;
         k_reward.delta_cap = 8.0;
-        double reward =
-            fedgpoReward(e_global, 0.0, accuracy_smooth_, prev_smooth,
-                         1.0, k_reward);
+        const RewardBreakdown breakdown = fedgpoRewardDetailed(
+            e_global, 0.0, accuracy_smooth_, prev_smooth, 1.0, k_reward);
+        double reward = breakdown.total;
+        decision_.reward.total = breakdown.total;
+        decision_.reward.energy_global_term = breakdown.energy_global_term;
+        decision_.reward.energy_local_term = breakdown.energy_local_term;
+        decision_.reward.accuracy_term = breakdown.accuracy_term;
+        decision_.reward.improvement_term = breakdown.improvement_term;
+        decision_.reward.stall_penalty = breakdown.stall_penalty;
+        decision_.reward.stall_branch = breakdown.stall;
         // An aborted round (quorum missed under fault injection) burned
         // energy and made zero progress: penalize the chosen K below any
         // stall-branch outcome so the learner raises the cohort size —
         // over-provisioning against dropout — rather than shrinking it.
-        if (result.aborted)
+        if (result.aborted) {
             reward = accuracy_smooth_ * 100.0 - 100.0 - 50.0;
+            decision_.reward = obs::RewardTerms{};
+            decision_.reward.total = reward;
+            decision_.reward.accuracy_term = accuracy_smooth_ * 100.0;
+            decision_.reward.stall_penalty = -100.0;
+            decision_.reward.abort_penalty = -50.0;
+            decision_.reward.stall_branch = true;
+            decision_.reward.aborted = true;
+        }
         const double k_gamma = std::max(
             config_.gamma,
             1.0 / (1.0 + k_table_->visits(pending_k_state_,
@@ -245,8 +299,21 @@ FedGpo::feedback(const fl::RoundResult &result)
         has_pending_k_ = false;
     }
 
+    decision_.device_reward_mean =
+        devices_rewarded > 0
+            ? device_reward_sum / static_cast<double>(devices_rewarded)
+            : 0.0;
+    decision_.devices_rewarded = devices_rewarded;
+    decision_.complete = true;
+
     accuracy_prev_ = result.test_accuracy;
     pending_.clear();
+}
+
+const obs::DecisionRecord *
+FedGpo::lastDecision() const
+{
+    return decision_.complete ? &decision_ : nullptr;
 }
 
 std::size_t

@@ -31,6 +31,7 @@
 #include "core/reward.h"
 #include "core/state.h"
 #include "device/device_profile.h"
+#include "obs/decision.h"
 #include "optim/optimizer.h"
 
 namespace fedgpo {
@@ -83,6 +84,14 @@ class FedGpo : public optim::ParamOptimizer
     assign(const std::vector<fl::DeviceObservation> &devices,
            const nn::LayerCensus &census) override;
     void feedback(const fl::RoundResult &result) override;
+
+    /**
+     * The decision record of the last completed round (null before the
+     * first feedback). Recording only *reads* policy state — Q-values,
+     * visit counts, the branch taken — never the RNG, so the record's
+     * existence cannot perturb the learning trajectory.
+     */
+    const obs::DecisionRecord *lastDecision() const override;
 
     /** Total Q-table memory (Section 5.4 reports 0.4 MB). */
     std::size_t qTableBytes() const;
@@ -144,6 +153,7 @@ class FedGpo : public optim::ParamOptimizer
     EnergyNormalizer local_energy_norm_;
     std::size_t last_data_bucket_ = 1;
     std::size_t rounds_seen_ = 0;
+    obs::DecisionRecord decision_; //!< filled across one round's calls
 };
 
 } // namespace core

@@ -11,19 +11,47 @@ fedgpoReward(double energy_global_norm, double energy_local_norm,
              double accuracy, double accuracy_prev,
              double improvement_share, const RewardConfig &cfg)
 {
+    return fedgpoRewardDetailed(energy_global_norm, energy_local_norm,
+                                accuracy, accuracy_prev, improvement_share,
+                                cfg)
+        .total;
+}
+
+RewardBreakdown
+fedgpoRewardDetailed(double energy_global_norm, double energy_local_norm,
+                     double accuracy, double accuracy_prev,
+                     double improvement_share, const RewardConfig &cfg)
+{
     assert(accuracy >= 0.0 && accuracy <= 1.0);
     assert(accuracy_prev >= 0.0 && accuracy_prev <= 1.0);
     assert(improvement_share >= 0.0);
     const double acc_pct = accuracy * 100.0;
     const double prev_pct = accuracy_prev * 100.0;
+    RewardBreakdown out;
     if (acc_pct - prev_pct <= 0.0) {
-        return acc_pct - 100.0 -
-               cfg.stall_energy_factor * cfg.energy_weight *
-                   (energy_global_norm + energy_local_norm);
+        // `total` keeps the exact expression the pre-decomposition
+        // implementation used so callers stay bit-identical; the term
+        // fields re-derive the pieces for the decision log.
+        out.total = acc_pct - 100.0 -
+                    cfg.stall_energy_factor * cfg.energy_weight *
+                        (energy_global_norm + energy_local_norm);
+        out.stall = true;
+        out.accuracy_term = acc_pct;
+        out.stall_penalty = -100.0;
+        const double w = cfg.stall_energy_factor * cfg.energy_weight;
+        out.energy_global_term = -w * energy_global_norm;
+        out.energy_local_term = -w * energy_local_norm;
+        return out;
     }
     const double delta = std::min(acc_pct - prev_pct, cfg.delta_cap);
-    return -cfg.energy_weight * (energy_global_norm + energy_local_norm) +
-           cfg.alpha * acc_pct + cfg.beta * delta * improvement_share;
+    out.total =
+        -cfg.energy_weight * (energy_global_norm + energy_local_norm) +
+        cfg.alpha * acc_pct + cfg.beta * delta * improvement_share;
+    out.energy_global_term = -cfg.energy_weight * energy_global_norm;
+    out.energy_local_term = -cfg.energy_weight * energy_local_norm;
+    out.accuracy_term = cfg.alpha * acc_pct;
+    out.improvement_term = cfg.beta * delta * improvement_share;
+    return out;
 }
 
 void

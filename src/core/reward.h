@@ -83,6 +83,30 @@ double fedgpoReward(double energy_global_norm, double energy_local_norm,
                     const RewardConfig &cfg = RewardConfig{});
 
 /**
+ * Eq. 1, decomposed term by term — the reward the decision log records.
+ * `total` is computed with the exact expression fedgpoReward() uses, so
+ * it matches bit-for-bit (fedgpoReward delegates here); the term fields
+ * are the decomposition and sum to `total` up to rounding.
+ */
+struct RewardBreakdown
+{
+    double total = 0.0;
+    bool stall = false;              //!< no-improvement branch taken
+    double energy_global_term = 0.0; //!< signed (<= 0)
+    double energy_local_term = 0.0;  //!< signed (<= 0)
+    double accuracy_term = 0.0;      //!< stall: acc_pct; else alpha*acc_pct
+    double improvement_term = 0.0;   //!< beta*min(delta,cap)*share, else 0
+    double stall_penalty = 0.0;      //!< -100 in the stall branch, else 0
+};
+
+/** Decomposed Eq. 1; see fedgpoReward for the parameters. */
+RewardBreakdown
+fedgpoRewardDetailed(double energy_global_norm, double energy_local_norm,
+                     double accuracy, double accuracy_prev,
+                     double improvement_share = 1.0,
+                     const RewardConfig &cfg = RewardConfig{});
+
+/**
  * Running normalizer for the energy terms: tracks the largest round
  * energy seen so far and maps energies into [0, 1] against it.
  */

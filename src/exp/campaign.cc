@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
 #include "fl/round/trace_writer.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace fedgpo {
@@ -72,13 +75,42 @@ runObserved(const Scenario &scenario, const std::string &policy_name,
     if (trace)
         sim.addRoundObserver(trace.get());
 
-    for (int r = 0; r < rounds; ++r)
+    // Throttled per-round progress at Info: at most one line every ~2
+    // host seconds (plus the final round), so long campaigns stay
+    // followable without drowning the log.
+    using clock = std::chrono::steady_clock;
+    const bool progress = util::logLevel() <= util::LogLevel::Info;
+    const auto t_start = clock::now();
+    auto t_last = t_start - std::chrono::seconds(10);
+    for (int r = 0; r < rounds; ++r) {
         run_round(sim);
+        if (!progress)
+            continue;
+        const auto now = clock::now();
+        if (now - t_last < std::chrono::seconds(2) && r + 1 < rounds)
+            continue;
+        t_last = now;
+        const double elapsed_s =
+            std::chrono::duration<double>(now - t_start).count();
+        const double eta_s = r + 1 < rounds
+                                 ? elapsed_s / (r + 1) * (rounds - r - 1)
+                                 : 0.0;
+        const double acc =
+            out.accuracy.empty() ? 0.0 : out.accuracy.back();
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "campaign %s/%s: round %d/%d acc=%.4f "
+                      "elapsed=%.1fs eta=%.1fs",
+                      scenario.name.c_str(), policy_name.c_str(), r + 1,
+                      rounds, acc, elapsed_s, eta_s);
+        util::logInfo(line);
+    }
 
     if (trace)
         sim.removeRoundObserver(trace.get());
     sim.removeRoundObserver(&observer);
     finalize(out);
+    obs::finishRun();
     return out;
 }
 

@@ -20,6 +20,7 @@
 #include "fl/round/aggregator.h"
 #include "fl/round/round_context.h"
 #include "fl/types.h"
+#include "obs/decision.h"
 
 namespace fedgpo {
 namespace fl {
@@ -116,6 +117,19 @@ class RoundObserver
     {
         (void)ctx;
         (void)event;
+    }
+
+    /**
+     * The policy published its decision record for this round (observed
+     * state, chosen action, Q-row, reward decomposition). Fires between
+     * the feedback hook and onRoundEnd; only on rounds where the driving
+     * policy keeps a record (plain FedAvg rounds fire no onDecision).
+     */
+    virtual void
+    onDecision(const RoundContext &ctx, const obs::DecisionRecord &record)
+    {
+        (void)ctx;
+        (void)record;
     }
 
     /** The round is complete; the result is fully populated. */

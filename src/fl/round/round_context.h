@@ -24,6 +24,7 @@
 #include "fl/client.h"
 #include "fl/types.h"
 #include "nn/model.h"
+#include "obs/decision.h"
 #include "runtime/thread_pool.h"
 #include "runtime/worker_context.h"
 #include "util/rng.h"
@@ -92,6 +93,21 @@ struct RoundContext
 
     /** Evaluates the global model on the held-out test set. */
     std::function<nn::Model::EvalResult()> evaluate;
+
+    /**
+     * Optional policy feedback, called by the engine after the Evaluate
+     * stage with the fully populated result — i.e. still *inside* the
+     * round, so a decision record published through `decision` lands in
+     * the same round's trace line. Must not mutate the result.
+     */
+    std::function<void(RoundContext &)> feedback;
+
+    /**
+     * Decision record for this round, published by the `feedback` hook
+     * (null when the policy keeps none). Observers receive it via
+     * onDecision before onRoundEnd.
+     */
+    const obs::DecisionRecord *decision = nullptr;
 
     // ---- Stage outputs. ------------------------------------------------
 

@@ -76,6 +76,12 @@ RoundEngine::RoundEngine(std::unique_ptr<Aggregator> aggregator,
     if (recovery_ == nullptr)
         recovery_ =
             std::make_unique<RetryBackoffPolicy>(fault::FaultConfig{});
+    for (std::size_t s = 0; s < kStageCount; ++s)
+        stage_spans_[s] = obs::spanIf(
+            obs::Level::Basic,
+            std::string("round.") + stageName(static_cast<Stage>(s)));
+    rounds_counter_ = obs::counterIf(obs::Level::Basic, "rounds.completed");
+    aborts_counter_ = obs::counterIf(obs::Level::Basic, "rounds.aborted");
 }
 
 void
@@ -102,6 +108,8 @@ RoundEngine::setRecoveryPolicy(std::unique_ptr<RecoveryPolicy> recovery)
 void
 RoundEngine::fireFault(const RoundContext &ctx, const FaultEvent &event)
 {
+    // Fault events are rare, so the by-name registry lookup is fine here.
+    obs::count(std::string("fault.") + fault::faultKindName(event.kind));
     for (RoundObserver *o : observers_)
         o->onFault(ctx, event);
 }
@@ -133,6 +141,8 @@ RoundEngine::run(RoundContext &ctx)
         const double wall_ms =
             std::chrono::duration<double, std::milli>(clock::now() - t0)
                 .count();
+        obs::addSpanMs(stage_spans_[static_cast<std::size_t>(stage)],
+                       wall_ms);
         for (RoundObserver *o : observers_)
             o->onStage(ctx, stage, wall_ms);
     };
@@ -153,6 +163,18 @@ RoundEngine::run(RoundContext &ctx)
             o->onClientReport(ctx, p);
     timed(Stage::Evaluate, [this](RoundContext &c) { stageEvaluate(c); });
 
+    // Policy feedback runs inside the round so the decision record it
+    // publishes (state, action, Q-row, reward terms) reaches observers
+    // on the same round's event stream, before the trace line is cut.
+    if (ctx.feedback)
+        ctx.feedback(ctx);
+    if (ctx.decision != nullptr)
+        for (RoundObserver *o : observers_)
+            o->onDecision(ctx, *ctx.decision);
+
+    obs::addCount(rounds_counter_);
+    if (ctx.result.aborted)
+        obs::addCount(aborts_counter_);
     for (RoundObserver *o : observers_)
         o->onRoundEnd(ctx.result);
     return ctx.result;

@@ -22,6 +22,7 @@
 #ifndef FEDGPO_FL_ROUND_ROUND_ENGINE_H_
 #define FEDGPO_FL_ROUND_ROUND_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "fl/round/recovery_policy.h"
 #include "fl/round/round_context.h"
 #include "fl/round/straggler_policy.h"
+#include "obs/metrics.h"
 
 namespace fedgpo {
 namespace fl {
@@ -103,6 +105,11 @@ class RoundEngine
     std::unique_ptr<StragglerPolicy> straggler_;
     std::unique_ptr<RecoveryPolicy> recovery_;
     std::vector<RoundObserver *> observers_;
+    // Host-profile probes ("round.<stage>" spans, round counters),
+    // resolved once at construction; all null when metrics are off.
+    std::array<obs::SpanNode *, kStageCount> stage_spans_{};
+    obs::Counter *rounds_counter_ = nullptr;
+    obs::Counter *aborts_counter_ = nullptr;
 };
 
 } // namespace round

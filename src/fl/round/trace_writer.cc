@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace fedgpo {
@@ -93,6 +94,14 @@ JsonlTraceWriter::onAggregate(const RoundContext &ctx,
 }
 
 void
+JsonlTraceWriter::onDecision(const RoundContext &ctx,
+                             const obs::DecisionRecord &record)
+{
+    (void)ctx;
+    decision_json_ = obs::decisionJson(record);
+}
+
+void
 JsonlTraceWriter::onRoundEnd(const RoundResult &result)
 {
     out_ << "{\"round\":" << result.round;
@@ -134,7 +143,12 @@ JsonlTraceWriter::onRoundEnd(const RoundResult &result)
             out_ << ",";
         out_ << client_records_[i];
     }
-    out_ << "]}\n";
+    out_ << "]";
+    if (!decision_json_.empty())
+        out_ << ",\"decision\":" << decision_json_;
+    if (obs::enabled())
+        out_ << ",\"metrics\":" << obs::metricsJson();
+    out_ << "}\n";
     out_.flush();
     if (!out_.good())
         warnOnce("write failed on trace file");
@@ -143,6 +157,7 @@ JsonlTraceWriter::onRoundEnd(const RoundResult &result)
     stage_ms_.fill(0.0);
     client_records_.clear();
     fault_records_.clear();
+    decision_json_.clear();
     stats_ = AggregationStats{};
 }
 

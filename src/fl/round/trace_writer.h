@@ -46,6 +46,8 @@ class JsonlTraceWriter : public RoundObserver
     void onFault(const RoundContext &ctx, const FaultEvent &event) override;
     void onAggregate(const RoundContext &ctx,
                      const AggregationStats &stats) override;
+    void onDecision(const RoundContext &ctx,
+                    const obs::DecisionRecord &record) override;
     void onRoundEnd(const RoundResult &result) override;
 
   private:
@@ -58,6 +60,7 @@ class JsonlTraceWriter : public RoundObserver
     std::array<double, kStageCount> stage_ms_{};
     std::vector<std::string> client_records_;
     std::vector<std::string> fault_records_;
+    std::string decision_json_; //!< this round's decision, "" when none
     AggregationStats stats_;
     std::size_t rounds_written_ = 0;
 };

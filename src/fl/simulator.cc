@@ -248,9 +248,15 @@ FlSimulator::runRound(optim::ParamOptimizer &policy)
         validateParams(c.params);
         fillTrainRngs(c);
     };
+    // Feedback runs inside the engine (after Evaluate, before observers
+    // see onRoundEnd) so the policy's decision record — reward terms
+    // included — lands in the same round's trace line.
+    ctx.feedback = [&policy](round::RoundContext &c) {
+        policy.feedback(c.result);
+        c.decision = policy.lastDecision();
+    };
     RoundResult result = engine_->run(ctx);
     last_accuracy_ = result.test_accuracy;
-    policy.feedback(result);
     return result;
 }
 

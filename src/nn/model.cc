@@ -1,26 +1,87 @@
 #include "nn/model.h"
 
 #include <cassert>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace fedgpo {
 namespace nn {
 
+namespace {
+
+const char *
+kindLabel(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::Dense:
+        return "dense";
+      case LayerKind::Recurrent:
+        return "recurrent";
+      case LayerKind::Activation:
+        return "act";
+      case LayerKind::Pool:
+        return "pool";
+      case LayerKind::Reshape:
+        return "reshape";
+    }
+    return "layer";
+}
+
+std::string
+layerSpanName(const char *phase, std::size_t idx, LayerKind kind)
+{
+    std::string name = "model.";
+    name += phase;
+    name += '.';
+    name += idx < 10 ? "0" : "";
+    name += std::to_string(idx);
+    name += '_';
+    name += kindLabel(kind);
+    return name;
+}
+
+} // namespace
+
 Model &
 Model::add(std::unique_ptr<Layer> layer)
 {
     layers_.push_back(std::move(layer));
+    spans_ready_ = false;
     return *this;
+}
+
+void
+Model::ensureSpans()
+{
+    spans_ready_ = true;
+    fwd_spans_.assign(layers_.size(), nullptr);
+    bwd_spans_.assign(layers_.size(), nullptr);
+    if (!obs::enabled(obs::Level::Profile))
+        return;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const LayerKind kind = layers_[i]->kind();
+        fwd_spans_[i] = obs::spanIf(obs::Level::Profile,
+                                    layerSpanName("forward", i, kind));
+        bwd_spans_[i] = obs::spanIf(obs::Level::Profile,
+                                    layerSpanName("backward", i, kind));
+    }
 }
 
 const Tensor &
 Model::forward(const Tensor &input, bool train)
 {
     assert(!layers_.empty());
+    if (!spans_ready_)
+        ensureSpans();
     const Tensor *x = &input;
-    for (auto &layer : layers_)
-        x = &layer->forward(*x, train);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        obs::ScopedTimer timer(fwd_spans_[i]);
+        x = &layers_[i]->forward(*x, train);
+    }
     return *x;
 }
 
@@ -30,8 +91,10 @@ Model::trainStep(const Tensor &input, const std::vector<int> &labels)
     const Tensor &logits = forward(input, /*train=*/true);
     double loss_value = loss_.forward(logits, labels);
     const Tensor *g = &loss_.backward();
-    for (std::size_t i = layers_.size(); i-- > 0;)
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        obs::ScopedTimer timer(bwd_spans_[i]);
         g = &layers_[i]->backward(*g);
+    }
     return loss_value;
 }
 

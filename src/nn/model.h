@@ -20,6 +20,11 @@
 #include "nn/loss.h"
 
 namespace fedgpo {
+
+namespace obs {
+struct SpanNode;
+} // namespace obs
+
 namespace nn {
 
 /**
@@ -120,8 +125,18 @@ class Model
     SoftmaxCrossEntropy &loss() { return loss_; }
 
   private:
+    /**
+     * Resolve per-layer profile spans ("model.forward.<idx>_<kind>", and
+     * the backward twins) once, lazily on the first forward pass so the
+     * layer stack is complete. All null below the profile level.
+     */
+    void ensureSpans();
+
     std::vector<std::unique_ptr<Layer>> layers_;
     SoftmaxCrossEntropy loss_;
+    bool spans_ready_ = false;
+    std::vector<obs::SpanNode *> fwd_spans_;
+    std::vector<obs::SpanNode *> bwd_spans_;
 };
 
 } // namespace nn

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace fedgpo {
 namespace nn {
 
@@ -14,6 +16,7 @@ Sgd::Sgd(double lr, double momentum, double clip_norm)
 void
 Sgd::step(Model &model)
 {
+    obs::ScopedTimer timer(obs::spanIf(obs::Level::Profile, "model.update"));
     auto params = model.params();
     auto grads = model.grads();
     assert(params.size() == grads.size());

@@ -1,0 +1,72 @@
+#include "obs/decision.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fedgpo {
+namespace obs {
+
+namespace {
+
+/** Shortest round-trip-exact double formatting ("%.17g"). */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+const char *
+b(bool v)
+{
+    return v ? "true" : "false";
+}
+
+} // namespace
+
+std::string
+decisionJson(const DecisionRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"round\":" << r.round;
+    os << ",\"epsilon\":" << num(r.epsilon);
+    os << ",\"k\":{\"state\":" << r.k_state << ",\"action\":" << r.k_action
+       << ",\"value\":" << r.k_value << ",\"explored\":" << b(r.k_explored)
+       << ",\"swept\":" << b(r.k_swept) << ",\"q_row\":[";
+    for (std::size_t i = 0; i < r.k_qrow.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << num(r.k_qrow[i]);
+    }
+    os << "]}";
+    os << ",\"devices\":[";
+    for (std::size_t i = 0; i < r.devices.size(); ++i) {
+        const DeviceDecision &d = r.devices[i];
+        if (i > 0)
+            os << ",";
+        os << "{\"id\":" << d.client_id << ",\"state\":" << d.state
+           << ",\"action\":" << d.action << ",\"batch\":" << d.batch
+           << ",\"epochs\":" << d.epochs
+           << ",\"explored\":" << b(d.explored) << ",\"q\":" << num(d.q)
+           << ",\"visits\":" << d.visits << "}";
+    }
+    os << "]";
+    os << ",\"reward\":{\"total\":" << num(r.reward.total)
+       << ",\"energy_global_term\":" << num(r.reward.energy_global_term)
+       << ",\"energy_local_term\":" << num(r.reward.energy_local_term)
+       << ",\"accuracy_term\":" << num(r.reward.accuracy_term)
+       << ",\"improvement_term\":" << num(r.reward.improvement_term)
+       << ",\"stall_penalty\":" << num(r.reward.stall_penalty)
+       << ",\"abort_penalty\":" << num(r.reward.abort_penalty)
+       << ",\"stall_branch\":" << b(r.reward.stall_branch)
+       << ",\"aborted\":" << b(r.reward.aborted) << "}";
+    os << ",\"device_reward_mean\":" << num(r.device_reward_mean);
+    os << ",\"devices_rewarded\":" << r.devices_rewarded;
+    os << ",\"complete\":" << b(r.complete);
+    os << "}";
+    return os.str();
+}
+
+} // namespace obs
+} // namespace fedgpo

@@ -22,6 +22,7 @@
 
 #include "fl/types.h"
 #include "nn/model.h"
+#include "obs/decision.h"
 
 namespace fedgpo {
 namespace optim {
@@ -56,6 +57,18 @@ class ParamOptimizer
 
     /** Learning signal after the round completes. */
     virtual void feedback(const fl::RoundResult &result) = 0;
+
+    /**
+     * The decision record for the most recent completed round (after
+     * feedback), or null when the policy keeps none. Policies that
+     * return a record enable the `decision` section in the round trace;
+     * the default — no record — costs nothing.
+     */
+    virtual const obs::DecisionRecord *
+    lastDecision() const
+    {
+        return nullptr;
+    }
 };
 
 } // namespace optim

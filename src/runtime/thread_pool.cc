@@ -1,15 +1,44 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace fedgpo {
 namespace runtime {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+}
+
+std::vector<double>
+poolMsBounds()
+{
+    return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads == 0 ? 1 : threads)
 {
+    tasks_counter_ = obs::counterIf(obs::Level::Basic, "pool.tasks");
+    wait_hist_ = obs::histogramIf(obs::Level::Basic, "pool.queue_wait_ms",
+                                  poolMsBounds());
+    task_hist_ =
+        obs::histogramIf(obs::Level::Basic, "pool.task_ms", poolMsBounds());
+    if (obs::Gauge *g = obs::gaugeIf(obs::Level::Basic, "pool.threads"))
+        g->set(static_cast<double>(threads_));
     if (threads_ <= 1)
         return;
     workers_.reserve(threads_);
@@ -51,13 +80,36 @@ ThreadPool::submit(std::function<void()> fn)
     auto task =
         std::make_shared<std::packaged_task<void()>>(std::move(fn));
     std::future<void> future = task->get_future();
+    obs::addCount(tasks_counter_);
     if (workers_.empty()) {
-        (*task)();
+        if (task_hist_ != nullptr) {
+            if (wait_hist_ != nullptr)
+                wait_hist_->add(0.0);
+            const auto t0 = Clock::now();
+            (*task)();
+            task_hist_->add(elapsedMs(t0));
+        } else {
+            (*task)();
+        }
         return future;
     }
+    const bool timed = wait_hist_ != nullptr || task_hist_ != nullptr;
+    const auto enqueued = timed ? Clock::now() : Clock::time_point{};
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.emplace_back([task](std::size_t) { (*task)(); });
+        queue_.emplace_back(
+            [this, task, timed, enqueued](std::size_t) {
+                if (!timed) {
+                    (*task)();
+                    return;
+                }
+                if (wait_hist_ != nullptr)
+                    wait_hist_->add(elapsedMs(enqueued));
+                const auto t0 = Clock::now();
+                (*task)();
+                if (task_hist_ != nullptr)
+                    task_hist_->add(elapsedMs(t0));
+            });
     }
     cv_.notify_one();
     return future;
@@ -70,9 +122,19 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    obs::addCount(tasks_counter_, n);
     if (workers_.empty()) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i, 0);
+        if (task_hist_ != nullptr) {
+            if (wait_hist_ != nullptr)
+                wait_hist_->add(0.0);
+            const auto t0 = Clock::now();
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i, 0);
+            task_hist_->add(elapsedMs(t0));
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i, 0);
+        }
         return;
     }
 
@@ -92,7 +154,13 @@ ThreadPool::parallelFor(std::size_t n,
     const std::size_t runners = std::min(threads_, n);
     state->runners_left = runners;
 
-    auto runner = [state, n, &fn](std::size_t worker) {
+    const bool timed = wait_hist_ != nullptr || task_hist_ != nullptr;
+    const auto enqueued = timed ? Clock::now() : Clock::time_point{};
+
+    auto runner = [this, state, n, &fn, timed, enqueued](std::size_t worker) {
+        if (timed && wait_hist_ != nullptr)
+            wait_hist_->add(elapsedMs(enqueued));
+        const auto busy_start = timed ? Clock::now() : Clock::time_point{};
         while (!state->failed.load(std::memory_order_relaxed)) {
             const std::size_t i =
                 state->next.fetch_add(1, std::memory_order_relaxed);
@@ -108,6 +176,8 @@ ThreadPool::parallelFor(std::size_t n,
                 break;
             }
         }
+        if (timed && task_hist_ != nullptr)
+            task_hist_->add(elapsedMs(busy_start));
         std::lock_guard<std::mutex> lock(state->mutex);
         if (--state->runners_left == 0)
             state->done.notify_all();

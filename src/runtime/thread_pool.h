@@ -21,6 +21,12 @@
 #include <vector>
 
 namespace fedgpo {
+
+namespace obs {
+class Counter;
+class Histogram;
+} // namespace obs
+
 namespace runtime {
 
 /**
@@ -69,6 +75,11 @@ class ThreadPool
     void workerLoop(std::size_t worker_id);
 
     std::size_t threads_;
+    // Observability probes, resolved once at construction; all null when
+    // metrics are off, in which case no clocks are read on any path.
+    obs::Counter *tasks_counter_ = nullptr;
+    obs::Histogram *wait_hist_ = nullptr;
+    obs::Histogram *task_hist_ = nullptr;
     std::vector<std::thread> workers_;
     // Tasks receive the id of the worker that runs them.
     std::deque<std::function<void(std::size_t)>> queue_;

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the obs metrics subsystem: primitives, level gating,
+ * registry lifecycle, timers, and the exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fedgpo {
+namespace obs {
+namespace {
+
+/** Every test starts from an empty registry at level Off. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        MetricsRegistry::instance().reset();
+        setLevel(Level::Off);
+    }
+    void TearDown() override
+    {
+        setLevel(Level::Off);
+        MetricsRegistry::instance().reset();
+    }
+};
+
+TEST_F(ObsTest, CounterAccumulates)
+{
+    Counter c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue)
+{
+    Gauge g;
+    g.set(1.5);
+    g.set(-2.25);
+    EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(ObsTest, HistogramBucketsAreCumulative)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    h.add(0.5);   // <= 1
+    h.add(5.0);   // <= 10
+    h.add(50.0);  // <= 100
+    h.add(500.0); // +inf only
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.bounds.size(), 3u);
+    ASSERT_EQ(snap.bucket_counts.size(), 4u); // 3 bounds + inf
+    EXPECT_EQ(snap.bucket_counts[0], 1u);
+    EXPECT_EQ(snap.bucket_counts[1], 2u);
+    EXPECT_EQ(snap.bucket_counts[2], 3u);
+    EXPECT_EQ(snap.bucket_counts[3], 4u);
+    EXPECT_EQ(snap.stat.count(), 4u);
+    EXPECT_DOUBLE_EQ(snap.stat.min(), 0.5);
+    EXPECT_DOUBLE_EQ(snap.stat.max(), 500.0);
+}
+
+TEST_F(ObsTest, HistogramMergesConcurrentWriters)
+{
+    Histogram h({10.0, 1000.0});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.add(static_cast<double>(i % 100));
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.stat.count(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(snap.stat.min(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.stat.max(), 99.0);
+    // Mean of 0..99 uniform is 49.5; exact because every thread adds the
+    // same multiset.
+    EXPECT_NEAR(snap.stat.mean(), 49.5, 1e-9);
+    EXPECT_EQ(snap.bucket_counts.back(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe)
+{
+    Counter *c = MetricsRegistry::instance().counter("test.threads");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c->add();
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(c->value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    EXPECT_EQ(reg.counter("a"), reg.counter("a"));
+    EXPECT_EQ(reg.gauge("b"), reg.gauge("b"));
+    EXPECT_EQ(reg.span("c.d"), reg.span("c.d"));
+    EXPECT_EQ(reg.histogram("h", {1.0}), reg.histogram("h", {2.0, 3.0}));
+    EXPECT_NE(reg.counter("a"), reg.counter("a2"));
+}
+
+TEST_F(ObsTest, LevelGatingReturnsNullBelowThreshold)
+{
+    setLevel(Level::Off);
+    EXPECT_EQ(spanIf(Level::Basic, "x"), nullptr);
+    EXPECT_EQ(counterIf(Level::Basic, "x"), nullptr);
+    EXPECT_EQ(gaugeIf(Level::Basic, "x"), nullptr);
+    EXPECT_EQ(histogramIf(Level::Basic, "x", {1.0}), nullptr);
+
+    setLevel(Level::Basic);
+    EXPECT_NE(counterIf(Level::Basic, "x"), nullptr);
+    EXPECT_EQ(spanIf(Level::Profile, "y"), nullptr) << "basic < profile";
+
+    setLevel(Level::Profile);
+    EXPECT_NE(spanIf(Level::Profile, "y"), nullptr);
+}
+
+TEST_F(ObsTest, ScopedLevelRestores)
+{
+    setLevel(Level::Off);
+    {
+        ScopedLevel scoped(Level::Profile);
+        EXPECT_TRUE(enabled(Level::Profile));
+    }
+    EXPECT_FALSE(enabled(Level::Basic));
+}
+
+TEST_F(ObsTest, NullSafeHelpersIgnoreNull)
+{
+    addCount(nullptr);
+    addSpanMs(nullptr, 5.0);
+    ScopedTimer timer(nullptr); // must not touch the clock or crash
+    setLevel(Level::Off);
+    count("never.registered"); // gated off: registers nothing
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+}
+
+TEST_F(ObsTest, ScopedTimerAccumulatesIntoSpan)
+{
+    SpanNode node("timed");
+    {
+        ScopedTimer timer(&node);
+        // Spin a little so the delta cannot round to zero on a coarse
+        // clock.
+        std::atomic<int> sink{0};
+        for (int i = 0; i < 100000; ++i)
+            sink.fetch_add(1, std::memory_order_relaxed);
+    }
+    EXPECT_EQ(node.count.load(), 1u);
+    EXPECT_GT(node.ns.load(), 0u);
+}
+
+TEST_F(ObsTest, AddSpanMsConverts)
+{
+    SpanNode node("external");
+    addSpanMs(&node, 2.5);
+    addSpanMs(&node, -1.0); // negative durations dropped
+    EXPECT_EQ(node.count.load(), 1u);
+    EXPECT_EQ(node.ns.load(), 2'500'000u);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndComplete)
+{
+    setLevel(Level::Basic);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("z.last")->add(3);
+    reg.counter("a.first")->add(1);
+    reg.gauge("g")->set(7.0);
+    reg.span("round.train")->addNs(1'000'000);
+    reg.histogram("lat", {1.0})->add(0.5);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "a.first");
+    EXPECT_EQ(snap.counters[0].second, 1u);
+    EXPECT_EQ(snap.counters[1].first, "z.last");
+    ASSERT_EQ(snap.spans.size(), 1u);
+    EXPECT_EQ(snap.spans[0].name, "round.train");
+    EXPECT_EQ(snap.spans[0].count, 1u);
+    EXPECT_DOUBLE_EQ(snap.spans[0].total_ms, 1.0);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_GE(snap.uptime_s, 0.0);
+}
+
+TEST_F(ObsTest, ResetDropsEverything)
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("gone")->add(5);
+    reg.reset();
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.spans.empty());
+    // Names can be re-registered after a reset and start from zero.
+    EXPECT_EQ(reg.counter("gone")->value(), 0u);
+}
+
+TEST_F(ObsTest, PrometheusTextFormat)
+{
+    setLevel(Level::Basic);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("rounds.completed")->add(12);
+    reg.gauge("pool.threads")->set(4.0);
+    reg.histogram("pool.task_ms", {1.0, 10.0})->add(0.5);
+    reg.span("round.train")->addNs(5'000'000);
+
+    const std::string text = prometheusText(reg.snapshot());
+    // Counters become *_total with the fedgpo_ prefix; dots mangle to
+    // underscores.
+    EXPECT_NE(text.find("fedgpo_rounds_completed_total 12"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE fedgpo_rounds_completed_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("fedgpo_pool_threads 4"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE fedgpo_pool_threads gauge"),
+              std::string::npos);
+    // Histograms expose cumulative le-buckets plus sum and count.
+    EXPECT_NE(text.find("fedgpo_pool_task_ms_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(text.find("fedgpo_pool_task_ms_count 1"), std::string::npos);
+    // Span totals export as counters too.
+    EXPECT_NE(text.find("fedgpo_span_round_train_ms_total"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesCountersAndGauges)
+{
+    setLevel(Level::Basic);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.counter("rounds.completed")->add(3);
+    reg.gauge("pool.threads")->set(2.0);
+    const std::string json = metricsJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"rounds.completed\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"pool.threads\""), std::string::npos);
+}
+
+TEST_F(ObsTest, PrintSummaryListsTopSpans)
+{
+    setLevel(Level::Basic);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.span("round.train")->addNs(8'000'000);
+    reg.span("round.evaluate")->addNs(2'000'000);
+    reg.counter("rounds.completed")->add(2);
+    std::ostringstream os;
+    printSummary(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("round.train"), std::string::npos) << text;
+    EXPECT_NE(text.find("rounds.completed"), std::string::npos);
+}
+
+TEST_F(ObsTest, CountHelperRegistersWhenEnabled)
+{
+    setLevel(Level::Basic);
+    count("fault.crash");
+    count("fault.crash", 2);
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].first, "fault.crash");
+    EXPECT_EQ(snap.counters[0].second, 3u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace fedgpo

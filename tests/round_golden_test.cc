@@ -17,6 +17,7 @@
 #include <cstddef>
 
 #include "fl/simulator.h"
+#include "obs/metrics.h"
 
 using namespace fedgpo;
 using namespace fedgpo::fl;
@@ -126,16 +127,9 @@ constexpr GoldenCase kCases[] = {
 
 constexpr int kRounds = 5;
 
-} // namespace
-
-class RoundGoldenTest
-    : public ::testing::TestWithParam<std::tuple<std::size_t, GoldenCase>>
+void
+expectGoldenTrace(std::size_t threads, const GoldenCase &golden_case)
 {
-};
-
-TEST_P(RoundGoldenTest, BitIdenticalToPreEngineTrace)
-{
-    const auto [threads, golden_case] = GetParam();
     FlSimulator sim(goldenConfig(golden_case.workload, threads));
     for (int r = 0; r < kRounds; ++r) {
         SCOPED_TRACE(std::string(golden_case.name) + " round " +
@@ -156,6 +150,30 @@ TEST_P(RoundGoldenTest, BitIdenticalToPreEngineTrace)
         EXPECT_EQ(result.dropped_diverged, 0u);
         EXPECT_EQ(result.samples_aggregated, g.samples_aggregated);
     }
+}
+
+} // namespace
+
+class RoundGoldenTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, GoldenCase>>
+{
+};
+
+TEST_P(RoundGoldenTest, BitIdenticalToPreEngineTrace)
+{
+    const auto [threads, golden_case] = GetParam();
+    expectGoldenTrace(threads, golden_case);
+}
+
+TEST_P(RoundGoldenTest, BitIdenticalUnderProfileMetrics)
+{
+    // The inertness guarantee of src/obs: full instrumentation (span
+    // timers, pool histograms, stage counters) must not move a single
+    // bit of the simulated trace, at any thread count.
+    const auto [threads, golden_case] = GetParam();
+    obs::ScopedLevel scoped(obs::Level::Profile);
+    expectGoldenTrace(threads, golden_case);
+    obs::MetricsRegistry::instance().reset();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * trace_summarize: offline reporter over a directory of JSONL round
+ * traces (the files JsonlTraceWriter and the campaign runner emit under
+ * FEDGPO_TRACE_DIR).
+ *
+ *   trace_summarize <trace_dir> [-o <out_dir>]
+ *
+ * Reads every *.jsonl file in <trace_dir> (sorted by name), aggregates
+ * per-stage host timings, per-client cost/drop statistics, FedGPO
+ * decision statistics (exploration rate, chosen-K histogram, reward term
+ * means), and fault totals, then writes to <out_dir> (default:
+ * <trace_dir>):
+ *
+ *   stages.csv  — per-stage wall-time stats across all rounds
+ *   clients.csv — per-client aggregates (rounds, time, energy, drops)
+ *   report.md   — the full markdown report
+ *
+ * Unparseable lines are warned about and skipped; the tool exits
+ * non-zero only when no trace file yields any round at all.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace fs = std::filesystem;
+using fedgpo::util::JsonValue;
+using fedgpo::util::RunningStat;
+using fedgpo::util::Table;
+using fedgpo::util::fmt;
+using fedgpo::util::fmtPct;
+
+namespace {
+
+struct ClientAgg
+{
+    std::string tier;
+    std::size_t rounds = 0;
+    std::size_t dropped = 0;
+    std::size_t retries = 0;
+    RunningStat t_round;
+    RunningStat e_total;
+    RunningStat train_loss;
+};
+
+struct Summary
+{
+    std::size_t files = 0;
+    std::size_t rounds = 0;
+    std::size_t bad_lines = 0;
+    std::size_t aborted = 0;
+    std::size_t upload_retries = 0;
+
+    std::map<std::string, RunningStat> stage_ms; //!< per stage name
+    RunningStat accuracy;
+    RunningStat round_time;
+    RunningStat energy_total;
+
+    std::map<std::size_t, ClientAgg> clients;
+    std::map<std::string, std::size_t> faults; //!< per fault kind
+
+    // FedGPO decision statistics (rounds carrying a `decision` section).
+    std::size_t decision_rounds = 0;
+    std::size_t k_explored = 0;
+    std::size_t device_decisions = 0;
+    std::size_t device_explored = 0;
+    std::map<int, std::size_t> k_histogram;
+    RunningStat reward_total;
+    RunningStat reward_energy_global;
+    RunningStat reward_energy_local;
+    RunningStat reward_accuracy;
+    RunningStat reward_improvement;
+    RunningStat device_reward_mean;
+};
+
+void
+foldRound(const JsonValue &line, Summary &s)
+{
+    ++s.rounds;
+    s.accuracy.add(line.at("test_accuracy").asNumber());
+    s.round_time.add(line.at("round_time").asNumber());
+    s.energy_total.add(line.at("energy_total").asNumber());
+    if (line.at("aborted").asBool())
+        ++s.aborted;
+    s.upload_retries +=
+        static_cast<std::size_t>(line.at("upload_retries").asNumber());
+
+    const JsonValue &stages = line.at("stages_ms");
+    for (const auto &[name, value] : stages.members())
+        s.stage_ms[name].add(value.asNumber());
+
+    const JsonValue &faults = line.at("faults");
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        ++s.faults[faults.at(i).at("kind").asString()];
+
+    const JsonValue &clients = line.at("clients");
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        const JsonValue &c = clients.at(i);
+        const auto id =
+            static_cast<std::size_t>(c.at("id").asNumber());
+        ClientAgg &agg = s.clients[id];
+        agg.tier = c.at("tier").asString();
+        ++agg.rounds;
+        if (c.at("dropped").asBool())
+            ++agg.dropped;
+        agg.retries +=
+            static_cast<std::size_t>(c.at("retries").asNumber());
+        agg.t_round.add(c.at("t_round").asNumber());
+        agg.e_total.add(c.at("e_total").asNumber());
+        agg.train_loss.add(c.at("train_loss").asNumber());
+    }
+
+    if (!line.has("decision"))
+        return;
+    const JsonValue &d = line.at("decision");
+    ++s.decision_rounds;
+    const JsonValue &k = d.at("k");
+    if (k.at("explored").asBool())
+        ++s.k_explored;
+    ++s.k_histogram[static_cast<int>(k.at("value").asNumber())];
+    const JsonValue &devices = d.at("devices");
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        ++s.device_decisions;
+        if (devices.at(i).at("explored").asBool())
+            ++s.device_explored;
+    }
+    const JsonValue &reward = d.at("reward");
+    s.reward_total.add(reward.at("total").asNumber());
+    s.reward_energy_global.add(
+        reward.at("energy_global_term").asNumber());
+    s.reward_energy_local.add(reward.at("energy_local_term").asNumber());
+    s.reward_accuracy.add(reward.at("accuracy_term").asNumber());
+    s.reward_improvement.add(reward.at("improvement_term").asNumber());
+    s.device_reward_mean.add(d.at("device_reward_mean").asNumber());
+}
+
+/** Stage rows in pipeline order, then any unknown names. */
+std::vector<std::string>
+orderedStages(const Summary &s)
+{
+    static const char *kOrder[] = {"select",    "train",     "cost",
+                                   "recover",   "straggler", "aggregate",
+                                   "energy",    "evaluate"};
+    std::vector<std::string> out;
+    for (const char *name : kOrder)
+        if (s.stage_ms.count(name) != 0)
+            out.push_back(name);
+    for (const auto &[name, stat] : s.stage_ms)
+        if (std::find(out.begin(), out.end(), name) == out.end())
+            out.push_back(name);
+    return out;
+}
+
+/**
+ * Table data kept raw so the same rows can render three ways: aligned
+ * console table, CSV (both via util::Table), and markdown.
+ */
+struct RawTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    void
+    markdown(std::ostream &os) const
+    {
+        for (const auto &h : header)
+            os << "| " << h << " ";
+        os << "|\n";
+        for (std::size_t i = 0; i < header.size(); ++i)
+            os << "| --- ";
+        os << "|\n";
+        for (const auto &row : rows) {
+            for (const auto &cell : row)
+                os << "| " << cell << " ";
+            os << "|\n";
+        }
+    }
+
+    Table
+    toTable() const
+    {
+        Table t(header);
+        for (const auto &row : rows)
+            t.addRow(row);
+        return t;
+    }
+};
+
+RawTable
+stageRaw(const Summary &s)
+{
+    RawTable t;
+    t.header = {"stage", "rounds", "total_ms", "mean_ms", "min_ms",
+                "max_ms"};
+    for (const std::string &name : orderedStages(s)) {
+        const RunningStat &st = s.stage_ms.at(name);
+        t.rows.push_back({name, std::to_string(st.count()),
+                          fmt(st.sum(), 2), fmt(st.mean(), 3),
+                          fmt(st.min(), 3), fmt(st.max(), 3)});
+    }
+    return t;
+}
+
+RawTable
+clientRaw(const Summary &s)
+{
+    RawTable t;
+    t.header = {"client",         "tier",           "rounds",
+                "dropped",        "retries",        "mean_t_round_s",
+                "mean_e_total_j", "mean_train_loss"};
+    for (const auto &[id, agg] : s.clients) {
+        t.rows.push_back(
+            {std::to_string(id), agg.tier, std::to_string(agg.rounds),
+             std::to_string(agg.dropped), std::to_string(agg.retries),
+             fmt(agg.t_round.mean(), 2), fmt(agg.e_total.mean(), 2),
+             fmt(agg.train_loss.mean(), 4)});
+    }
+    return t;
+}
+
+void
+writeReport(std::ostream &os, const Summary &s)
+{
+    os << "# Trace summary\n\n";
+    os << "- files: " << s.files << "\n";
+    os << "- rounds: " << s.rounds << "\n";
+    if (s.bad_lines > 0)
+        os << "- unparseable lines skipped: " << s.bad_lines << "\n";
+    os << "- aborted rounds: " << s.aborted << "\n";
+    os << "- upload retries: " << s.upload_retries << "\n";
+    os << "- final-round test accuracy (mean across rounds "
+       << "min/mean/max): " << fmt(s.accuracy.min(), 4) << " / "
+       << fmt(s.accuracy.mean(), 4) << " / " << fmt(s.accuracy.max(), 4)
+       << "\n";
+    os << "- modeled round time (s, mean): " << fmt(s.round_time.mean(), 2)
+       << "\n";
+    os << "- modeled round energy (J, mean): "
+       << fmt(s.energy_total.mean(), 2) << "\n\n";
+
+    os << "## Host time per stage\n\n";
+    stageRaw(s).markdown(os);
+
+    os << "\n## Clients\n\n";
+    clientRaw(s).markdown(os);
+
+    if (!s.faults.empty()) {
+        os << "\n## Faults\n\n";
+        RawTable t;
+        t.header = {"kind", "events"};
+        for (const auto &[kind, n] : s.faults)
+            t.rows.push_back({kind, std::to_string(n)});
+        t.markdown(os);
+    }
+
+    if (s.decision_rounds > 0) {
+        os << "\n## FedGPO decisions\n\n";
+        os << "- rounds with a decision record: " << s.decision_rounds
+           << "\n";
+        os << "- K exploration rate: "
+           << fmtPct(static_cast<double>(s.k_explored) /
+                     static_cast<double>(s.decision_rounds))
+           << "\n";
+        if (s.device_decisions > 0) {
+            os << "- device (B,E) exploration rate: "
+               << fmtPct(static_cast<double>(s.device_explored) /
+                         static_cast<double>(s.device_decisions))
+               << " over " << s.device_decisions << " decisions\n";
+        }
+        os << "\n### Chosen K\n\n";
+        RawTable kt;
+        kt.header = {"K", "rounds"};
+        for (const auto &[k, n] : s.k_histogram)
+            kt.rows.push_back({std::to_string(k), std::to_string(n)});
+        kt.markdown(os);
+
+        os << "\n### Reward terms (mean per round)\n\n";
+        RawTable rt;
+        rt.header = {"term", "mean"};
+        rt.rows.push_back({"total", fmt(s.reward_total.mean(), 3)});
+        rt.rows.push_back(
+            {"energy_global", fmt(s.reward_energy_global.mean(), 3)});
+        rt.rows.push_back(
+            {"energy_local", fmt(s.reward_energy_local.mean(), 3)});
+        rt.rows.push_back({"accuracy", fmt(s.reward_accuracy.mean(), 3)});
+        rt.rows.push_back(
+            {"improvement", fmt(s.reward_improvement.mean(), 3)});
+        rt.rows.push_back(
+            {"device_reward_mean", fmt(s.device_reward_mean.mean(), 3)});
+        rt.markdown(os);
+    }
+}
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0 << " <trace_dir> [-o <out_dir>]\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_dir;
+    std::string out_dir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            out_dir = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (trace_dir.empty()) {
+            trace_dir = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (trace_dir.empty())
+        return usage(argv[0]);
+    if (out_dir.empty())
+        out_dir = trace_dir;
+
+    std::error_code ec;
+    if (!fs::is_directory(trace_dir, ec)) {
+        std::cerr << "trace_summarize: '" << trace_dir
+                  << "' is not a directory\n";
+        return 1;
+    }
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(trace_dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".jsonl")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::cerr << "trace_summarize: no *.jsonl files in '" << trace_dir
+                  << "'\n";
+        return 1;
+    }
+
+    Summary summary;
+    for (const fs::path &file : files) {
+        std::ifstream in(file);
+        if (!in.good()) {
+            std::cerr << "trace_summarize: cannot read " << file
+                      << "; skipping\n";
+            continue;
+        }
+        ++summary.files;
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            if (line.empty())
+                continue;
+            JsonValue parsed;
+            std::string error;
+            if (!JsonValue::parse(line, parsed, &error) ||
+                !parsed.isObject()) {
+                ++summary.bad_lines;
+                std::cerr << "trace_summarize: " << file.filename()
+                          << ":" << line_no << ": skipping bad line ("
+                          << error << ")\n";
+                continue;
+            }
+            foldRound(parsed, summary);
+        }
+    }
+    if (summary.rounds == 0) {
+        std::cerr << "trace_summarize: no parseable rounds in '"
+                  << trace_dir << "'\n";
+        return 1;
+    }
+
+    fs::create_directories(out_dir, ec);
+
+    const std::string stages_csv = out_dir + "/stages.csv";
+    const std::string clients_csv = out_dir + "/clients.csv";
+    const std::string report_md = out_dir + "/report.md";
+    bool ok = true;
+    ok &= stageRaw(summary).toTable().writeCsv(stages_csv);
+    ok &= clientRaw(summary).toTable().writeCsv(clients_csv);
+    {
+        std::ofstream report(report_md, std::ios::trunc);
+        if (!report.good()) {
+            std::cerr << "trace_summarize: cannot write " << report_md
+                      << "\n";
+            ok = false;
+        } else {
+            writeReport(report, summary);
+        }
+    }
+
+    std::cout << "trace_summarize: " << summary.rounds << " rounds from "
+              << summary.files << " file(s) -> " << report_md << ", "
+              << stages_csv << ", " << clients_csv << "\n";
+    stageRaw(summary).toTable().print(std::cout, "Host time per stage");
+    return ok ? 0 : 1;
+}
