@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Throughput benchmark for the blocked tensor kernel layer.
+ *
+ * Times every GEMM variant and the im2col transform on the actual shapes
+ * the three model-zoo workloads produce (CNN-MNIST, LSTM-Shakespeare,
+ * MobileNet-ImageNet at a typical local batch), reporting GFLOP/s for the
+ * blocked kernels in tensor/ops.h side by side with the retained naive
+ * references in tensor/reference.h — the pre-kernel-layer implementations,
+ * so the "speedup" column is the before/after of the rebuild.
+ *
+ * Results are mirrored into BENCH_kernels.json (override with -o PATH).
+ * --smoke shrinks the per-case measurement window so CI can exercise the
+ * full harness in a couple of seconds.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/reference.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using fedgpo::tensor::Tensor;
+namespace ops = fedgpo::tensor;
+namespace ref = fedgpo::tensor::reference;
+
+void
+fillRandom(Tensor &t, std::mt19937 &gen)
+{
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = dist(gen);
+}
+
+/**
+ * Seconds per call, measured over a window of at least `min_time` seconds
+ * (the rep count doubles until the window is long enough to trust).
+ */
+double
+secondsPerCall(const std::function<void()> &op, double min_time)
+{
+    op(); // warm-up: size outputs, grow the pack panel, fault-in pages
+    std::size_t reps = 1;
+    for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            op();
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (dt.count() >= min_time || reps >= (1u << 24))
+            return dt.count() / static_cast<double>(reps);
+        reps *= 2;
+    }
+}
+
+struct Row {
+    std::string workload;
+    std::string layer;
+    std::string kernel;
+    std::size_t m, k, n;       // logical GEMM dims (k = reduction extent)
+    double blocked_gflops = 0.0;
+    double reference_gflops = 0.0;
+    double speedup = 0.0;
+};
+
+/** Forward GEMM shape of one layer: [m, k] x [k, n]. */
+struct GemmCase {
+    const char *workload;
+    const char *layer;
+    std::size_t m, k, n;
+};
+
+// The zoo's GEMMs at local batch 8 (src/models/zoo.cc, 16x16 inputs):
+// conv layers appear as their im2col GEMM [n*oh*ow, c*kh*kw] x [., out_c].
+const GemmCase kGemmCases[] = {
+    {"cnn_mnist", "conv1_3x3", 8 * 256, 9, 8},
+    {"cnn_mnist", "conv2_3x3", 8 * 64, 72, 16},
+    {"cnn_mnist", "dense1", 8, 256, 32},
+    {"cnn_mnist", "dense2", 8, 32, 10},
+    {"lstm_shakespeare", "lstm_wx", 8, 28, 128},
+    {"lstm_shakespeare", "lstm_wh", 8, 32, 128},
+    {"lstm_shakespeare", "head", 8, 32, 28},
+    {"mobilenet_imagenet", "stem_3x3", 8 * 256, 27, 8},
+    {"mobilenet_imagenet", "pw1_1x1", 8 * 256, 8, 16},
+    {"mobilenet_imagenet", "pw2_1x1", 8 * 64, 16, 32},
+    {"mobilenet_imagenet", "head", 8, 512, 20},
+};
+
+struct ConvCase {
+    const char *workload;
+    const char *layer;
+    std::size_t n, c, h, w, k, stride, pad;
+};
+
+const ConvCase kConvCases[] = {
+    {"cnn_mnist", "conv1_3x3", 8, 1, 16, 16, 3, 1, 1},
+    {"cnn_mnist", "conv2_3x3", 8, 8, 8, 8, 3, 1, 1},
+    {"mobilenet_imagenet", "pw1_1x1", 8, 8, 16, 16, 1, 1, 0},
+};
+
+double
+gflops(std::size_t m, std::size_t k, std::size_t n, double sec)
+{
+    return 2.0 * static_cast<double>(m) * k * n / sec / 1e9;
+}
+
+void
+printRow(const Row &r)
+{
+    std::printf("%-20s %-10s %-15s m=%-5zu k=%-4zu n=%-4zu "
+                "%8.3f GF/s  (naive %7.3f)  %5.2fx\n",
+                r.workload.c_str(), r.layer.c_str(), r.kernel.c_str(), r.m,
+                r.k, r.n, r.blocked_gflops, r.reference_gflops, r.speedup);
+    std::fflush(stdout);
+}
+
+void
+writeJson(const std::vector<Row> &rows, const std::string &path, bool smoke)
+{
+    std::ofstream out(path);
+    out << "{\n  \"schema\": \"fedgpo.kernel_bench.v1\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"batch\": 8,\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"workload\": \"" << r.workload << "\", \"layer\": \""
+            << r.layer << "\", \"kernel\": \"" << r.kernel
+            << "\", \"m\": " << r.m << ", \"k\": " << r.k
+            << ", \"n\": " << r.n << ", \"blocked_gflops\": "
+            << r.blocked_gflops << ", \"reference_gflops\": "
+            << r.reference_gflops << ", \"speedup\": " << r.speedup << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+    const double min_time = smoke ? 0.003 : 0.08;
+
+    std::mt19937 gen(20260806);
+    std::vector<Row> rows;
+
+    for (const auto &gc : kGemmCases) {
+        // Operands for every variant of this layer's GEMM. The transposed
+        // variants are the layer's actual backward GEMMs: dW reduces over
+        // the batch-rows (transA), dX reduces over the output features
+        // (transB).
+        Tensor a({gc.m, gc.k}), b({gc.k, gc.n}), bias({gc.n});
+        Tensor at({gc.k, gc.m}), bt({gc.n, gc.k});
+        Tensor acc({gc.m, gc.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        fillRandom(bias, gen);
+        fillRandom(at, gen);
+        fillRandom(bt, gen);
+        fillRandom(acc, gen);
+        Tensor c;
+
+        struct Variant {
+            const char *kernel;
+            std::size_t m, k, n;
+            std::function<void()> blocked;
+            std::function<void()> naive;
+        };
+        const Variant variants[] = {
+            {"matmul", gc.m, gc.k, gc.n,
+             [&] { ops::matmul(a, b, c); },
+             [&] { ref::matmulRef(a, b, c); }},
+            {"matmul_bias", gc.m, gc.k, gc.n,
+             [&] { ops::matmulBias(a, b, bias, c); },
+             [&] { ref::matmulBiasRef(a, b, bias, c); }},
+            {"matmul_accum", gc.m, gc.k, gc.n,
+             [&] { ops::matmulAccum(a, b, acc); },
+             [&] { ref::matmulAccumRef(a, b, acc); }},
+            {"matmul_trans_a", gc.k, gc.m, gc.n,
+             [&] { ops::matmulTransA(a, b, c); },
+             [&] { ref::matmulTransARef(a, b, c); }},
+            {"matmul_trans_b", gc.m, gc.n, gc.k,
+             [&] { ops::matmulTransB(a, bt, c); },
+             [&] { ref::matmulTransBRef(a, bt, c); }},
+        };
+        for (const auto &v : variants) {
+            Row r;
+            r.workload = gc.workload;
+            r.layer = gc.layer;
+            r.kernel = v.kernel;
+            r.m = v.m;
+            r.k = v.k;
+            r.n = v.n;
+            r.blocked_gflops =
+                gflops(v.m, v.k, v.n, secondsPerCall(v.blocked, min_time));
+            r.reference_gflops =
+                gflops(v.m, v.k, v.n, secondsPerCall(v.naive, min_time));
+            r.speedup = r.blocked_gflops / r.reference_gflops;
+            printRow(r);
+            rows.push_back(r);
+        }
+    }
+
+    for (const auto &cc : kConvCases) {
+        Tensor in({cc.n, cc.c, cc.h, cc.w});
+        fillRandom(in, gen);
+        Tensor cols;
+        Row r;
+        r.workload = cc.workload;
+        r.layer = cc.layer;
+        r.kernel = "im2col";
+        // Report element throughput as "GFLOP/s" with one op per written
+        // column element, so the JSON schema stays uniform.
+        const std::size_t oh =
+            ops::convOutExtent(cc.h, cc.k, cc.stride, cc.pad);
+        const std::size_t ow =
+            ops::convOutExtent(cc.w, cc.k, cc.stride, cc.pad);
+        r.m = cc.n * oh * ow;
+        r.k = 1;
+        r.n = cc.c * cc.k * cc.k;
+        const double sb = secondsPerCall(
+            [&] { ops::im2col(in, cc.k, cc.k, cc.stride, cc.pad, cols); },
+            min_time);
+        const double sr = secondsPerCall(
+            [&] { ref::im2colRef(in, cc.k, cc.k, cc.stride, cc.pad, cols); },
+            min_time);
+        r.blocked_gflops = static_cast<double>(r.m) * r.n / sb / 1e9;
+        r.reference_gflops = static_cast<double>(r.m) * r.n / sr / 1e9;
+        r.speedup = sr / sb;
+        printRow(r);
+        rows.push_back(r);
+    }
+
+    writeJson(rows, out_path, smoke);
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+    return 0;
+}

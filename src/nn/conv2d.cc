@@ -37,19 +37,21 @@ Conv2D::forward(const Tensor &in, bool train)
     const std::size_t n = in.dim(0);
     cached_n_ = n;
     tensor::im2col(in, k_, k_, stride_, pad_, cols_);
-    tensor::matmul(cols_, weights_, gemm_out_);
+    // Bias is fused into the GEMM epilogue (added after each element's
+    // k-chain, bit-identical to a separate pass); the NCHW scatter below
+    // is then a pure transpose.
+    tensor::matmulBias(cols_, weights_, b_, gemm_out_);
 
     if (out_buf_.ndim() != 4 || out_buf_.dim(0) != n)
         out_buf_ = Tensor({n, out_c_, oh_, ow_});
     const std::size_t spatial = oh_ * ow_;
     const float *pg = gemm_out_.data();
-    const float *pb = b_.data();
     float *po = out_buf_.data();
     for (std::size_t img = 0; img < n; ++img) {
         for (std::size_t s = 0; s < spatial; ++s) {
             const float *row = pg + (img * spatial + s) * out_c_;
             for (std::size_t oc = 0; oc < out_c_; ++oc)
-                po[(img * out_c_ + oc) * spatial + s] = row[oc] + pb[oc];
+                po[(img * out_c_ + oc) * spatial + s] = row[oc];
         }
     }
     return out_buf_;
@@ -77,10 +79,11 @@ Conv2D::backward(const Tensor &grad_out)
         }
     }
 
-    // dW += cols^T * grad_gemm ; db += column sums.
-    Tensor dw_step;
-    tensor::matmulTransA(cols_, grad_gemm_, dw_step);
-    dw_ += dw_step;
+    // dW += cols^T * grad_gemm ; db += column sums. dw_step_ is
+    // persistent member scratch so steady-state backward passes are
+    // allocation-free.
+    tensor::matmulTransA(cols_, grad_gemm_, dw_step_);
+    dw_ += dw_step_;
     float *pdb = db_.data();
     for (std::size_t r = 0; r < n * spatial; ++r)
         for (std::size_t oc = 0; oc < out_c_; ++oc)

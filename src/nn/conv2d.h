@@ -57,6 +57,7 @@ class Conv2D : public Layer
     Tensor b_;   //!< [out_c]
     Tensor dw_;
     Tensor db_;
+    Tensor dw_step_;    //!< backward scratch, reused across calls
     Tensor cols_;       //!< im2col scratch for the cached input
     Tensor gemm_out_;   //!< [n*oh*ow, out_c]
     Tensor out_buf_;    //!< [n, out_c, oh, ow]

@@ -29,13 +29,7 @@ Dense::forward(const Tensor &in, bool train)
     (void)train;
     assert(in.ndim() == 2 && in.dim(1) == in_);
     cached_in_ = &in;
-    tensor::matmul(in, w_, out_buf_);
-    const std::size_t n = in.dim(0);
-    float *po = out_buf_.data();
-    const float *pb = b_.data();
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < out_; ++c)
-            po[r * out_ + c] += pb[c];
+    tensor::matmulBias(in, w_, b_, out_buf_);
     return out_buf_;
 }
 
@@ -46,9 +40,10 @@ Dense::backward(const Tensor &grad_out)
     assert(grad_out.ndim() == 2 && grad_out.dim(1) == out_);
     const Tensor &x = *cached_in_;
     // dW += x^T dy ; db += column sums of dy ; dx = dy W^T
-    Tensor dw_step;
-    tensor::matmulTransA(x, grad_out, dw_step);
-    dw_ += dw_step;
+    // dw_step_ is persistent member scratch (shape is stable across
+    // calls), so steady-state backward passes are allocation-free.
+    tensor::matmulTransA(x, grad_out, dw_step_);
+    dw_ += dw_step_;
     const std::size_t n = grad_out.dim(0);
     const float *pg = grad_out.data();
     float *pdb = db_.data();

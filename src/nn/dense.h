@@ -43,6 +43,7 @@ class Dense : public Layer
     Tensor b_;   //!< [out]
     Tensor dw_;
     Tensor db_;
+    Tensor dw_step_;  //!< backward scratch, reused across calls
     Tensor out_buf_;
     Tensor grad_in_;
     const Tensor *cached_in_ = nullptr;

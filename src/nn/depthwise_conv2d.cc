@@ -98,9 +98,10 @@ DepthwiseConv2D::backward(const Tensor &grad_out)
             float *dx = pdi + (img * c_ + ch) * in_h_ * in_w_;
             for (std::size_t oy = 0; oy < oh_; ++oy) {
                 for (std::size_t ox = 0; ox < ow_; ++ox) {
+                    // No zero-skip here: g == 0 must still multiply the
+                    // inputs so 0 * Inf / 0 * NaN propagates NaN into the
+                    // gradients instead of silently masking divergence.
                     const float g = dy[oy * ow_ + ox];
-                    if (g == 0.0f)
-                        continue;
                     pdb[ch] += g;
                     for (std::size_t ky = 0; ky < k_; ++ky) {
                         const long iy =

@@ -49,27 +49,34 @@ LSTM::forward(const Tensor &in, bool train)
     cached_n_ = n;
     const std::size_t h4 = 4 * hidden_;
 
-    xs_.assign(steps_, Tensor());
-    hs_.assign(steps_ + 1, Tensor({n, hidden_}));
-    cs_.assign(steps_ + 1, Tensor({n, hidden_}));
-    gates_.assign(steps_, Tensor());
-    tanh_c_.assign(steps_, Tensor({n, hidden_}));
+    if (alloc_n_ != n) {
+        // First call, or the batch shape changed: (re)build the step
+        // caches. Subsequent same-shape calls reuse every buffer.
+        xs_.assign(steps_, Tensor({n, in_}));
+        hs_.assign(steps_ + 1, Tensor({n, hidden_}));
+        cs_.assign(steps_ + 1, Tensor({n, hidden_}));
+        gates_.assign(steps_, Tensor({n, h4}));
+        tanh_c_.assign(steps_, Tensor({n, hidden_}));
+        alloc_n_ = n;
+    } else {
+        // Only the initial states carry values between calls; everything
+        // else is fully overwritten below.
+        hs_[0].zero();
+        cs_[0].zero();
+    }
 
-    Tensor pre_x, pre_h;
     for (std::size_t t = 0; t < steps_; ++t) {
         // Slice x_t out of the [n, T, in] batch.
-        xs_[t] = Tensor({n, in_});
         for (std::size_t r = 0; r < n; ++r) {
             const float *src = in.data() + (r * steps_ + t) * in_;
             float *dst = xs_[t].data() + r * in_;
             std::copy(src, src + in_, dst);
         }
-        tensor::matmul(xs_[t], wx_, pre_x);
-        tensor::matmul(hs_[t], wh_, pre_h);
-        gates_[t] = Tensor({n, h4});
+        tensor::matmul(xs_[t], wx_, pre_x_);
+        tensor::matmul(hs_[t], wh_, pre_h_);
         float *pg = gates_[t].data();
-        const float *px = pre_x.data();
-        const float *ph = pre_h.data();
+        const float *px = pre_x_.data();
+        const float *ph = pre_h_.data();
         const float *pb = b_.data();
         const float *pc_prev = cs_[t].data();
         float *pc = cs_[t + 1].data();
@@ -115,18 +122,23 @@ LSTM::backward(const Tensor &grad_out)
         grad_in_ = Tensor({n, steps_, in_});
     grad_in_.zero();
 
-    Tensor dh = grad_out;          // [n, hidden]
-    Tensor dc({n, hidden_});       // running cell-state gradient
-    Tensor dpre({n, h4});
-    Tensor scratch;
+    if (dh_.ndim() != 2 || dh_.dim(0) != n) {
+        dh_ = Tensor({n, hidden_});
+        dc_ = Tensor({n, hidden_});
+        dpre_ = Tensor({n, h4});
+    } else {
+        dc_.zero();
+        // dpre_ is fully overwritten each timestep before it is read.
+    }
+    std::copy(grad_out.data(), grad_out.data() + n * hidden_, dh_.data());
 
     for (std::size_t t = steps_; t-- > 0;) {
         const float *pg = gates_[t].data();
         const float *ptc = tanh_c_[t].data();
         const float *pc_prev = cs_[t].data();
-        const float *pdh = dh.data();
-        float *pdc = dc.data();
-        float *pdp = dpre.data();
+        const float *pdh = dh_.data();
+        float *pdc = dc_.data();
+        float *pdp = dpre_.data();
         for (std::size_t r = 0; r < n; ++r) {
             const std::size_t row = r * h4;
             const float *gi = pg + row;
@@ -156,25 +168,26 @@ LSTM::backward(const Tensor &grad_out)
                 pdc[idx] = d_c * gf[j];
             }
         }
-        // Parameter gradients.
-        tensor::matmulTransA(xs_[t], dpre, scratch);
-        dwx_ += scratch;
-        tensor::matmulTransA(hs_[t], dpre, scratch);
-        dwh_ += scratch;
+        // Parameter gradients, each into its own stable-shape scratch so
+        // no buffer is reshaped (reallocated) between the three GEMMs.
+        tensor::matmulTransA(xs_[t], dpre_, dwx_step_);
+        dwx_ += dwx_step_;
+        tensor::matmulTransA(hs_[t], dpre_, dwh_step_);
+        dwh_ += dwh_step_;
         float *pdb = db_.data();
         for (std::size_t r = 0; r < n; ++r)
             for (std::size_t j = 0; j < h4; ++j)
                 pdb[j] += pdp[r * h4 + j];
         // Input gradient slice.
-        tensor::matmulTransB(dpre, wx_, scratch);  // [n, in]
+        tensor::matmulTransB(dpre_, wx_, dx_step_);  // [n, in]
         for (std::size_t r = 0; r < n; ++r) {
             float *dst = grad_in_.data() + (r * steps_ + t) * in_;
-            const float *src = scratch.data() + r * in_;
+            const float *src = dx_step_.data() + r * in_;
             for (std::size_t j = 0; j < in_; ++j)
                 dst[j] += src[j];
         }
         // Hidden gradient to t-1.
-        tensor::matmulTransB(dpre, wh_, dh);
+        tensor::matmulTransB(dpre_, wh_, dh_);
     }
     return grad_in_;
 }

@@ -51,15 +51,29 @@ class LSTM : public Layer
     Tensor b_;   //!< [4*hidden]
     Tensor dwx_, dwh_, db_;
 
-    // Forward caches (per forward call).
+    // Forward caches. Allocated once per batch shape and reused across
+    // calls: when the batch size is unchanged only h_0/c_0 are re-zeroed
+    // (everything else is fully overwritten each forward), so steady-state
+    // training steps are allocation-free.
     std::vector<Tensor> xs_;      //!< per-step inputs [n, in]
     std::vector<Tensor> hs_;      //!< h_0..h_T, each [n, hidden]
     std::vector<Tensor> cs_;      //!< c_0..c_T
     std::vector<Tensor> gates_;   //!< post-activation gates per step [n,4H]
     std::vector<Tensor> tanh_c_;  //!< tanh(c_t) per step
+    Tensor pre_x_, pre_h_;        //!< per-step GEMM outputs [n, 4H]
     Tensor out_buf_;
     Tensor grad_in_;
+    // Backward scratch, persistent so steady-state BPTT is allocation-free
+    // (one stable-shape buffer per matmul output instead of reshaping a
+    // shared temporary every timestep).
+    Tensor dh_;        //!< running hidden gradient [n, hidden]
+    Tensor dc_;        //!< running cell gradient [n, hidden]
+    Tensor dpre_;      //!< pre-activation gate gradient [n, 4H]
+    Tensor dwx_step_;  //!< [in, 4H]
+    Tensor dwh_step_;  //!< [hidden, 4H]
+    Tensor dx_step_;   //!< [n, in]
     std::size_t cached_n_ = 0;
+    std::size_t alloc_n_ = 0;     //!< batch size the caches were built for
 };
 
 } // namespace nn

@@ -1,0 +1,359 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+#include <vector>
+
+// Vector microkernels: x86-64 builds get an AVX path selected at runtime
+// via per-function target attributes, so the baseline build stays plain
+// SSE2 and other architectures compile the portable scalar tiles. The AVX
+// tiles use separate mul/add intrinsics (target("avx") does not enable
+// FMA), so every lane is the same ascending-p add chain as the scalar
+// code — bit-exact, just eight lanes at a time.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FEDGPO_GEMM_AVX_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace fedgpo {
+namespace tensor {
+namespace blocked {
+
+namespace {
+
+/**
+ * Thread-local B-panel scratch. Each runtime worker packs into its own
+ * buffer, so the kernels stay lock-free and allocation-free once the
+ * buffer has grown to the largest panel seen on that thread.
+ */
+thread_local std::vector<float> tl_bpack;
+
+/**
+ * Pack the column strip B[0:k, j0:j0+nr] (or the rows of B^T playing that
+ * role) into a p-major [k x kNr] panel. Tail strips (nr < kNr) are
+ * zero-padded; the padded lanes are computed but never stored.
+ */
+void
+packB(const float *b, std::size_t ldb, bool trans_b, std::size_t k,
+      std::size_t j0, std::size_t nr, float *bp)
+{
+    if (!trans_b) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float *src = b + p * ldb + j0;
+            float *dst = bp + p * kNr;
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                dst[jj] = src[jj];
+            for (std::size_t jj = nr; jj < kNr; ++jj)
+                dst[jj] = 0.0f;
+        }
+    } else {
+        if (nr < kNr)
+            std::memset(bp, 0, k * kNr * sizeof(float));
+        for (std::size_t jj = 0; jj < nr; ++jj) {
+            const float *src = b + (j0 + jj) * ldb;
+            for (std::size_t p = 0; p < k; ++p)
+                bp[p * kNr + jj] = src[p];
+        }
+    }
+}
+
+/**
+ * Full kMr x kNr register tile: each acc[ii][jj] is one ascending-p
+ * chain; the jj loop is lane-parallel and autovectorizes.
+ */
+template <bool Accum>
+void
+microFull(const float *__restrict a, std::size_t lda,
+          const float *__restrict bp, float *__restrict c, std::size_t ldc,
+          std::size_t k, const float *__restrict bias)
+{
+    float acc[kMr][kNr];
+    for (std::size_t ii = 0; ii < kMr; ++ii)
+        for (std::size_t jj = 0; jj < kNr; ++jj)
+            acc[ii][jj] = Accum ? c[ii * ldc + jj] : 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *__restrict bv = bp + p * kNr;
+        for (std::size_t ii = 0; ii < kMr; ++ii) {
+            const float av = a[ii * lda + p];
+            for (std::size_t jj = 0; jj < kNr; ++jj)
+                acc[ii][jj] += av * bv[jj];
+        }
+    }
+    if (bias != nullptr)
+        for (std::size_t ii = 0; ii < kMr; ++ii)
+            for (std::size_t jj = 0; jj < kNr; ++jj)
+                acc[ii][jj] += bias[jj];
+    for (std::size_t ii = 0; ii < kMr; ++ii)
+        for (std::size_t jj = 0; jj < kNr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+/** Edge tile: mr <= kMr rows and/or nr <= kNr columns. */
+template <bool Accum>
+void
+microEdge(const float *__restrict a, std::size_t lda,
+          const float *__restrict bp, float *__restrict c, std::size_t ldc,
+          std::size_t k, std::size_t mr, std::size_t nr,
+          const float *__restrict bias)
+{
+    float acc[kMr][kNr];
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            acc[ii][jj] = Accum ? c[ii * ldc + jj] : 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *__restrict bv = bp + p * kNr;
+        for (std::size_t ii = 0; ii < mr; ++ii) {
+            const float av = a[ii * lda + p];
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                acc[ii][jj] += av * bv[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            c[ii * ldc + jj] =
+                bias != nullptr ? acc[ii][jj] + bias[jj] : acc[ii][jj];
+}
+
+#if FEDGPO_GEMM_AVX_DISPATCH
+
+/** True when the CPU can run the AVX tiles; probed once. */
+bool
+haveAvx()
+{
+    static const bool have = __builtin_cpu_supports("avx");
+    return have;
+}
+
+/**
+ * AVX full tile: one 8-lane accumulator per row, held in registers for
+ * the whole k loop (the autovectorized scalar tile round-trips the
+ * accumulators through the stack every p step, which caps it at memory
+ * latency). Lane jj of acc{ii} is exactly the scalar chain for
+ * C[i0+ii][j0+jj].
+ */
+__attribute__((target("avx"))) void
+microFullAvx(const float *__restrict a, std::size_t lda,
+             const float *__restrict bp, float *__restrict c,
+             std::size_t ldc, std::size_t k, const float *__restrict bias,
+             bool accumulate)
+{
+    static_assert(kMr == 4 && kNr == 8,
+                  "AVX tile is written for 4x8 registers");
+    __m256 acc0, acc1, acc2, acc3;
+    if (accumulate) {
+        acc0 = _mm256_loadu_ps(c);
+        acc1 = _mm256_loadu_ps(c + ldc);
+        acc2 = _mm256_loadu_ps(c + 2 * ldc);
+        acc3 = _mm256_loadu_ps(c + 3 * ldc);
+    } else {
+        acc0 = acc1 = acc2 = acc3 = _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+        const __m256 bv = _mm256_loadu_ps(bp + p * kNr);
+        acc0 = _mm256_add_ps(acc0,
+                             _mm256_mul_ps(_mm256_broadcast_ss(a + p), bv));
+        acc1 = _mm256_add_ps(
+            acc1, _mm256_mul_ps(_mm256_broadcast_ss(a + lda + p), bv));
+        acc2 = _mm256_add_ps(
+            acc2, _mm256_mul_ps(_mm256_broadcast_ss(a + 2 * lda + p), bv));
+        acc3 = _mm256_add_ps(
+            acc3, _mm256_mul_ps(_mm256_broadcast_ss(a + 3 * lda + p), bv));
+    }
+    if (bias != nullptr) {
+        const __m256 bb = _mm256_loadu_ps(bias);
+        acc0 = _mm256_add_ps(acc0, bb);
+        acc1 = _mm256_add_ps(acc1, bb);
+        acc2 = _mm256_add_ps(acc2, bb);
+        acc3 = _mm256_add_ps(acc3, bb);
+    }
+    _mm256_storeu_ps(c, acc0);
+    _mm256_storeu_ps(c + ldc, acc1);
+    _mm256_storeu_ps(c + 2 * ldc, acc2);
+    _mm256_storeu_ps(c + 3 * ldc, acc3);
+}
+
+/** AVX interior tile for the A^T kernel; always extends the chains in C. */
+__attribute__((target("avx"))) void
+microTransAFullAvx(const float *__restrict a, std::size_t lda,
+                   const float *__restrict b, std::size_t ldb,
+                   float *__restrict c, std::size_t ldc, std::size_t kp)
+{
+    __m256 acc0 = _mm256_loadu_ps(c);
+    __m256 acc1 = _mm256_loadu_ps(c + ldc);
+    __m256 acc2 = _mm256_loadu_ps(c + 2 * ldc);
+    __m256 acc3 = _mm256_loadu_ps(c + 3 * ldc);
+    for (std::size_t p = 0; p < kp; ++p) {
+        const float *ar = a + p * lda;
+        const __m256 bv = _mm256_loadu_ps(b + p * ldb);
+        acc0 = _mm256_add_ps(acc0,
+                             _mm256_mul_ps(_mm256_broadcast_ss(ar), bv));
+        acc1 = _mm256_add_ps(acc1,
+                             _mm256_mul_ps(_mm256_broadcast_ss(ar + 1), bv));
+        acc2 = _mm256_add_ps(acc2,
+                             _mm256_mul_ps(_mm256_broadcast_ss(ar + 2), bv));
+        acc3 = _mm256_add_ps(acc3,
+                             _mm256_mul_ps(_mm256_broadcast_ss(ar + 3), bv));
+    }
+    _mm256_storeu_ps(c, acc0);
+    _mm256_storeu_ps(c + ldc, acc1);
+    _mm256_storeu_ps(c + 2 * ldc, acc2);
+    _mm256_storeu_ps(c + 3 * ldc, acc3);
+}
+
+#else
+
+constexpr bool
+haveAvx()
+{
+    return false;
+}
+
+void
+microFullAvx(const float *, std::size_t, const float *, float *,
+             std::size_t, std::size_t, const float *, bool)
+{
+}
+
+void
+microTransAFullAvx(const float *, std::size_t, const float *, std::size_t,
+                   float *, std::size_t, std::size_t)
+{
+}
+
+#endif // FEDGPO_GEMM_AVX_DISPATCH
+
+template <bool Accum>
+void
+gemmImpl(const float *a, std::size_t lda, const float *b, std::size_t ldb,
+         bool trans_b, float *c, std::size_t ldc, std::size_t m,
+         std::size_t n, std::size_t k, const float *bias)
+{
+    if (tl_bpack.size() < k * kNr)
+        tl_bpack.resize(k * kNr);
+    float *bp = tl_bpack.data();
+    const bool avx = haveAvx();
+    for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+        const std::size_t nr = n - j0 < kNr ? n - j0 : kNr;
+        packB(b, ldb, trans_b, k, j0, nr, bp);
+        const float *bias_j = bias != nullptr ? bias + j0 : nullptr;
+        std::size_t i0 = 0;
+        if (nr == kNr) {
+            if (avx)
+                for (; i0 + kMr <= m; i0 += kMr)
+                    microFullAvx(a + i0 * lda, lda, bp,
+                                 c + i0 * ldc + j0, ldc, k, bias_j, Accum);
+            else
+                for (; i0 + kMr <= m; i0 += kMr)
+                    microFull<Accum>(a + i0 * lda, lda, bp,
+                                     c + i0 * ldc + j0, ldc, k, bias_j);
+        }
+        for (; i0 < m; i0 += kMr) {
+            const std::size_t mr = m - i0 < kMr ? m - i0 : kMr;
+            microEdge<Accum>(a + i0 * lda, lda, bp, c + i0 * ldc + j0, ldc,
+                             k, mr, nr, bias_j);
+        }
+    }
+}
+
+/**
+ * Rank-1-structured tile for the A^T kernel: for each p, a[ii] lanes and
+ * b[jj] lanes are both contiguous loads. Chains round-trip through C so
+ * ascending p-blocks extend them in order.
+ */
+void
+microTransA(const float *__restrict a, std::size_t lda,
+            const float *__restrict b, std::size_t ldb,
+            float *__restrict c, std::size_t ldc, std::size_t kp,
+            std::size_t mr, std::size_t nr)
+{
+    float acc[kMr][kNr];
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            acc[ii][jj] = c[ii * ldc + jj];
+    for (std::size_t p = 0; p < kp; ++p) {
+        const float *__restrict ar = a + p * lda;
+        const float *__restrict br = b + p * ldb;
+        for (std::size_t ii = 0; ii < mr; ++ii) {
+            const float av = ar[ii];
+            for (std::size_t jj = 0; jj < nr; ++jj)
+                acc[ii][jj] += av * br[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < mr; ++ii)
+        for (std::size_t jj = 0; jj < nr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+/** Fully-unrolled variant for interior tiles (compile-time extents). */
+void
+microTransAFull(const float *__restrict a, std::size_t lda,
+                const float *__restrict b, std::size_t ldb,
+                float *__restrict c, std::size_t ldc, std::size_t kp)
+{
+    float acc[kMr][kNr];
+    for (std::size_t ii = 0; ii < kMr; ++ii)
+        for (std::size_t jj = 0; jj < kNr; ++jj)
+            acc[ii][jj] = c[ii * ldc + jj];
+    for (std::size_t p = 0; p < kp; ++p) {
+        const float *__restrict ar = a + p * lda;
+        const float *__restrict br = b + p * ldb;
+        for (std::size_t ii = 0; ii < kMr; ++ii) {
+            const float av = ar[ii];
+            for (std::size_t jj = 0; jj < kNr; ++jj)
+                acc[ii][jj] += av * br[jj];
+        }
+    }
+    for (std::size_t ii = 0; ii < kMr; ++ii)
+        for (std::size_t jj = 0; jj < kNr; ++jj)
+            c[ii * ldc + jj] = acc[ii][jj];
+}
+
+} // namespace
+
+void
+gemm(const float *a, std::size_t lda, const float *b, std::size_t ldb,
+     bool trans_b, float *c, std::size_t ldc, std::size_t m, std::size_t n,
+     std::size_t k, bool accumulate, const float *bias)
+{
+    if (m == 0 || n == 0)
+        return;
+    if (accumulate)
+        gemmImpl<true>(a, lda, b, ldb, trans_b, c, ldc, m, n, k, bias);
+    else
+        gemmImpl<false>(a, lda, b, ldb, trans_b, c, ldc, m, n, k, bias);
+}
+
+void
+gemmTransA(const float *a, std::size_t lda, const float *b, std::size_t ldb,
+           float *c, std::size_t ldc, std::size_t m, std::size_t n,
+           std::size_t k)
+{
+    const bool avx = haveAvx();
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+        const std::size_t kp = k - p0 < kKc ? k - p0 : kKc;
+        const float *ap = a + p0 * lda;
+        const float *bp = b + p0 * ldb;
+        for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+            const std::size_t nr = n - j0 < kNr ? n - j0 : kNr;
+            std::size_t i0 = 0;
+            if (nr == kNr) {
+                if (avx)
+                    for (; i0 + kMr <= m; i0 += kMr)
+                        microTransAFullAvx(ap + i0, lda, bp + j0, ldb,
+                                           c + i0 * ldc + j0, ldc, kp);
+                else
+                    for (; i0 + kMr <= m; i0 += kMr)
+                        microTransAFull(ap + i0, lda, bp + j0, ldb,
+                                        c + i0 * ldc + j0, ldc, kp);
+            }
+            for (; i0 < m; i0 += kMr) {
+                const std::size_t mr = m - i0 < kMr ? m - i0 : kMr;
+                microTransA(ap + i0, lda, bp + j0, ldb, c + i0 * ldc + j0,
+                            ldc, kp, mr, nr);
+            }
+        }
+    }
+}
+
+} // namespace blocked
+} // namespace tensor
+} // namespace fedgpo

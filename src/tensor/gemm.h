@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Blocked, register-tiled single-precision GEMM microkernels.
+ *
+ * This is the internal engine behind the public tensor::matmul* entry
+ * points in ops.h. It is exposed as its own header so the property suite
+ * (tests/kernel_property_test.cc) can drive the blocked code directly on
+ * adversarial shapes and compare it bit-exactly against the retained naive
+ * kernels in reference.h.
+ *
+ * ## The reduction-order invariant
+ *
+ * For every output element C[i][j], the k multiply-add terms are folded in
+ * ascending-p order into a single float accumulator chain, exactly like
+ * the naive triple loop:
+ *
+ *     acc = start; acc += a(i,0)*b(0,j); acc += a(i,1)*b(1,j); ...
+ *
+ * where `start` is 0 (overwrite), the bias (never — bias is added after
+ * the chain, see below), or the existing C value (accumulate). Blocking is
+ * therefore restricted to transformations that cannot reorder a chain:
+ * i/j tiles may be visited in any order (different elements), B may be
+ * repacked into contiguous panels (pure data movement), and the k loop may
+ * be split into ascending blocks whose partial chains round-trip through
+ * the accumulator (same associativity). Lane-parallel SIMD across j is
+ * fine — each lane is its own chain — but reductions across p lanes are
+ * forbidden. This is what lets tests/round_golden_test.cc's hexfloat
+ * goldens survive the kernel rebuild unchanged.
+ *
+ * There is no `a == 0` fast path: `0 * Inf` and `0 * NaN` must produce
+ * NaN so a diverged client update cannot masquerade as finite (the round
+ * pipeline's divergence rejection depends on it).
+ *
+ * ## Blocking scheme
+ *
+ * C is swept in kMr x kNr register tiles. B is packed one kNr-wide column
+ * strip at a time into a thread-local panel laid out p-major
+ * (bpack[p*kNr + jj]), so the microkernel's inner loop reads one
+ * contiguous kNr vector per p regardless of the original B layout — the
+ * same packing routine serves both B and B^T operands, which is how
+ * matmulTransB shares the microkernel. The A operand is read directly:
+ * its kMr rows are contiguous in p, so no packing is needed. The panel
+ * (k * kNr floats) fits L1 for every shape the model zoo produces, so no
+ * further k blocking is applied on this path.
+ *
+ * The A^T kernel (gemmTransA) has the opposite shape regime: k is the
+ * large (batch*spatial) dimension and C is small. It keeps the naive
+ * kernel's p-outer rank-1 structure — both A and B rows are already
+ * contiguous — and adds kMr x kNr register tiles plus p-blocking (kKc)
+ * so A and B stream through cache once while C tiles stay register- and
+ * L1-resident. Partial chains round-trip through C between p-blocks,
+ * preserving the invariant.
+ *
+ * All kernels are single-threaded by design: parallelism lives in the
+ * runtime layer (one client per worker), which keeps results independent
+ * of FEDGPO_THREADS.
+ */
+
+#ifndef FEDGPO_TENSOR_GEMM_H_
+#define FEDGPO_TENSOR_GEMM_H_
+
+#include <cstddef>
+
+namespace fedgpo {
+namespace tensor {
+namespace blocked {
+
+/** Register tile height (rows of C per microkernel). */
+constexpr std::size_t kMr = 4;
+/** Register tile width (columns of C per microkernel); SIMD-friendly. */
+constexpr std::size_t kNr = 8;
+/** p-block extent for the A^T kernel's cache blocking. */
+constexpr std::size_t kKc = 256;
+
+/**
+ * General row-major GEMM: C = A * op(B) (+ bias), or C += A * op(B).
+ *
+ * A is [m, k] with leading dimension lda; op(B) is B [k, n] (ldb) when
+ * trans_b is false, or B^T with B stored [n, k] (ldb) when true. C is
+ * [m, n] with leading dimension ldc and must not alias A or B.
+ *
+ * @param accumulate  When true, each element's chain starts from the
+ *                    existing C value (C += ...); bias must be null.
+ * @param bias        Optional [n] vector added to every output row AFTER
+ *                    the k-chain completes — bit-identical to a separate
+ *                    bias-add pass, but fused into the store epilogue.
+ */
+void gemm(const float *a, std::size_t lda, const float *b, std::size_t ldb,
+          bool trans_b, float *c, std::size_t ldc, std::size_t m,
+          std::size_t n, std::size_t k, bool accumulate, const float *bias);
+
+/**
+ * C += A^T * B with A [k, m] (lda), B [k, n] (ldb), C [m, n] (ldc).
+ * C must be initialized by the caller (the public entry zeroes it) and
+ * must not alias A or B.
+ */
+void gemmTransA(const float *a, std::size_t lda, const float *b,
+                std::size_t ldb, float *c, std::size_t ldc, std::size_t m,
+                std::size_t n, std::size_t k);
+
+} // namespace blocked
+} // namespace tensor
+} // namespace fedgpo
+
+#endif // FEDGPO_TENSOR_GEMM_H_

@@ -3,18 +3,35 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "tensor/gemm.h"
+
 namespace fedgpo {
 namespace tensor {
 
 namespace {
 
 void
-prepareOut(Tensor &c, std::size_t m, std::size_t n)
+prepareOut(Tensor &c, std::size_t m, std::size_t n, bool zero)
 {
     if (c.ndim() != 2 || c.dim(0) != m || c.dim(1) != n)
         c = Tensor({m, n});
-    else
+    else if (zero)
         c.zero();
+}
+
+/**
+ * Profile-level kernel span: below profile this is one cached level
+ * check; at profile it is a registry lookup per kernel call (the names
+ * fit SSO, and a GEMM call amortizes the lookup over thousands of
+ * FLOPs).
+ */
+obs::SpanNode *
+kernelSpan(const char *name)
+{
+    if (!obs::enabled(obs::Level::Profile))
+        return nullptr;
+    return obs::spanIf(obs::Level::Profile, name);
 }
 
 } // namespace
@@ -23,10 +40,25 @@ void
 matmul(const Tensor &a, const Tensor &b, Tensor &c)
 {
     assert(a.ndim() == 2 && b.ndim() == 2);
-    const std::size_t m = a.dim(0), n = b.dim(1);
-    assert(b.dim(0) == a.dim(1));
-    prepareOut(c, m, n);
-    matmulAccum(a, b, c);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    prepareOut(c, m, n, /*zero=*/false);
+    obs::ScopedTimer timer(kernelSpan("kernel.matmul"));
+    blocked::gemm(a.data(), k, b.data(), n, /*trans_b=*/false, c.data(), n,
+                  m, n, k, /*accumulate=*/false, nullptr);
+}
+
+void
+matmulBias(const Tensor &a, const Tensor &b, const Tensor &bias, Tensor &c)
+{
+    assert(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    assert(bias.ndim() == 1 && bias.dim(0) == n);
+    prepareOut(c, m, n, /*zero=*/false);
+    obs::ScopedTimer timer(kernelSpan("kernel.matmul_bias"));
+    blocked::gemm(a.data(), k, b.data(), n, /*trans_b=*/false, c.data(), n,
+                  m, n, k, /*accumulate=*/false, bias.data());
 }
 
 void
@@ -35,21 +67,9 @@ matmulAccum(const Tensor &a, const Tensor &b, Tensor &c)
     assert(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2);
     const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
     assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        float *crow = pc + i * n;
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = pb + p * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    obs::ScopedTimer timer(kernelSpan("kernel.matmul_accum"));
+    blocked::gemm(a.data(), k, b.data(), n, /*trans_b=*/false, c.data(), n,
+                  m, n, k, /*accumulate=*/true, nullptr);
 }
 
 void
@@ -58,24 +78,9 @@ matmulTransA(const Tensor &a, const Tensor &b, Tensor &c)
     assert(a.ndim() == 2 && b.ndim() == 2);
     const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
     assert(b.dim(0) == k);
-    prepareOut(c, m, n);
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outer so both reads are
-    // row-contiguous.
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *arow = pa + p * m;
-        const float *brow = pb + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    prepareOut(c, m, n, /*zero=*/true);
+    obs::ScopedTimer timer(kernelSpan("kernel.matmul_trans_a"));
+    blocked::gemmTransA(a.data(), m, b.data(), n, c.data(), n, m, n, k);
 }
 
 void
@@ -84,22 +89,10 @@ matmulTransB(const Tensor &a, const Tensor &b, Tensor &c)
     assert(a.ndim() == 2 && b.ndim() == 2);
     const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
     assert(b.dim(1) == k);
-    prepareOut(c, m, n);
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    // C[i][j] = dot(A_row_i, B_row_j): both contiguous.
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        float *crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = pb + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
-        }
-    }
+    prepareOut(c, m, n, /*zero=*/false);
+    obs::ScopedTimer timer(kernelSpan("kernel.matmul_trans_b"));
+    blocked::gemm(a.data(), k, b.data(), k, /*trans_b=*/true, c.data(), n,
+                  m, n, k, /*accumulate=*/false, nullptr);
 }
 
 std::size_t
@@ -109,6 +102,33 @@ convOutExtent(std::size_t in, std::size_t k, std::size_t stride,
     assert(in + 2 * pad >= k);
     return (in + 2 * pad - k) / stride + 1;
 }
+
+namespace {
+
+/**
+ * Interior ox range [lo, hi) where the whole kw-wide tap row lies inside
+ * the image: ox*stride - pad >= 0 and ox*stride - pad + kw <= w.
+ */
+void
+interiorRange(std::size_t w, std::size_t kw, std::size_t stride,
+              std::size_t pad, std::size_t ow, std::size_t &lo,
+              std::size_t &hi)
+{
+    lo = (pad + stride - 1) / stride;
+    const long last = static_cast<long>(w) - static_cast<long>(kw) +
+                      static_cast<long>(pad);
+    hi = last < 0 ? 0
+                  : static_cast<std::size_t>(last) /
+                            stride + 1;
+    if (lo > ow)
+        lo = ow;
+    if (hi > ow)
+        hi = ow;
+    if (hi < lo)
+        hi = lo;
+}
+
+} // namespace
 
 void
 im2col(const Tensor &input, std::size_t kh, std::size_t kw,
@@ -125,31 +145,79 @@ im2col(const Tensor &input, std::size_t kh, std::size_t kw,
         columns.dim(1) != cols) {
         columns = Tensor({rows, cols});
     }
+    obs::ScopedTimer timer(kernelSpan("kernel.im2col"));
     float *out = columns.data();
     const float *in = input.data();
+
+    if (kh == 1 && kw == 1 && pad == 0 && stride == 1) {
+        // Pointwise convolution: columns is just a per-image [c, h*w] ->
+        // [h*w, c] transpose (the MobileNet 1x1 layers).
+        const std::size_t hw = h * w;
+        for (std::size_t img = 0; img < n; ++img) {
+            const float *src = in + img * c * hw;
+            float *dst = out + img * hw * c;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+                const float *s = src + ch * hw;
+                for (std::size_t i = 0; i < hw; ++i)
+                    dst[i * c + ch] = s[i];
+            }
+        }
+        return;
+    }
+
+    std::size_t ox_lo, ox_hi;
+    interiorRange(w, kw, stride, pad, ow, ox_lo, ox_hi);
     for (std::size_t img = 0; img < n; ++img) {
         const float *img_base = in + img * c * h * w;
         for (std::size_t oy = 0; oy < oh; ++oy) {
-            for (std::size_t ox = 0; ox < ow; ++ox) {
-                float *row =
-                    out + ((img * oh + oy) * ow + ox) * cols;
-                std::size_t idx = 0;
-                for (std::size_t ch = 0; ch < c; ++ch) {
-                    const float *ch_base = img_base + ch * h * w;
-                    for (std::size_t ky = 0; ky < kh; ++ky) {
-                        // Signed because padding can take us off the image.
-                        const long iy = static_cast<long>(oy * stride + ky) -
-                                        static_cast<long>(pad);
-                        for (std::size_t kx = 0; kx < kw; ++kx, ++idx) {
-                            const long ix =
-                                static_cast<long>(ox * stride + kx) -
-                                static_cast<long>(pad);
-                            if (iy < 0 || iy >= static_cast<long>(h) ||
-                                ix < 0 || ix >= static_cast<long>(w)) {
-                                row[idx] = 0.0f;
-                            } else {
-                                row[idx] = ch_base[iy * w + ix];
-                            }
+            float *rowblock = out + (img * oh + oy) * ow * cols;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+                const float *ch_base = img_base + ch * h * w;
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                    const long iy = static_cast<long>(oy * stride + ky) -
+                                    static_cast<long>(pad);
+                    float *dst0 = rowblock + (ch * kh + ky) * kw;
+                    if (iy < 0 || iy >= static_cast<long>(h)) {
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            float *dst = dst0 + ox * cols;
+                            for (std::size_t kx = 0; kx < kw; ++kx)
+                                dst[kx] = 0.0f;
+                        }
+                        continue;
+                    }
+                    const float *src_row = ch_base + iy * w;
+                    // Left border: clip each tap against the image edge.
+                    for (std::size_t ox = 0; ox < ox_lo; ++ox) {
+                        const long ix0 = static_cast<long>(ox * stride) -
+                                         static_cast<long>(pad);
+                        float *dst = dst0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx) {
+                            const long ix = ix0 + static_cast<long>(kx);
+                            dst[kx] = (ix < 0 || ix >= static_cast<long>(w))
+                                          ? 0.0f
+                                          : src_row[ix];
+                        }
+                    }
+                    // Interior: one contiguous kw-wide strip per position.
+                    // Plain copy loop, not memcpy: kw is tiny (3-4 floats
+                    // for the zoo's kernels), so a libc call per strip
+                    // costs more than the copy itself.
+                    for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
+                        const float *src = src_row + ox * stride - pad;
+                        float *dst = dst0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx)
+                            dst[kx] = src[kx];
+                    }
+                    // Right border.
+                    for (std::size_t ox = ox_hi; ox < ow; ++ox) {
+                        const long ix0 = static_cast<long>(ox * stride) -
+                                         static_cast<long>(pad);
+                        float *dst = dst0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx) {
+                            const long ix = ix0 + static_cast<long>(kx);
+                            dst[kx] = (ix < 0 || ix >= static_cast<long>(w))
+                                          ? 0.0f
+                                          : src_row[ix];
                         }
                     }
                 }
@@ -171,28 +239,67 @@ col2im(const Tensor &columns, std::size_t kh, std::size_t kw,
     assert(columns.ndim() == 2);
     assert(columns.dim(0) == n * oh * ow && columns.dim(1) == cols);
     input_grad.zero();
+    obs::ScopedTimer timer(kernelSpan("kernel.col2im"));
     const float *in = columns.data();
     float *out = input_grad.data();
+
+    if (kh == 1 && kw == 1 && pad == 0 && stride == 1) {
+        const std::size_t hw = h * w;
+        for (std::size_t img = 0; img < n; ++img) {
+            const float *src = in + img * hw * c;
+            float *dst = out + img * c * hw;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+                float *d = dst + ch * hw;
+                for (std::size_t i = 0; i < hw; ++i)
+                    d[i] += src[i * c + ch];
+            }
+        }
+        return;
+    }
+
+    // Per input pixel, contributions arrive in ascending (oy, ox) order —
+    // within an oy only one ky can reach a given pixel row, and within an
+    // ox only one kx can reach a given pixel column — so this loop nest
+    // reproduces the reference scatter's accumulation order bit-exactly.
+    std::size_t ox_lo, ox_hi;
+    interiorRange(w, kw, stride, pad, ow, ox_lo, ox_hi);
     for (std::size_t img = 0; img < n; ++img) {
         float *img_base = out + img * c * h * w;
         for (std::size_t oy = 0; oy < oh; ++oy) {
-            for (std::size_t ox = 0; ox < ow; ++ox) {
-                const float *row =
-                    in + ((img * oh + oy) * ow + ox) * cols;
-                std::size_t idx = 0;
-                for (std::size_t ch = 0; ch < c; ++ch) {
-                    float *ch_base = img_base + ch * h * w;
-                    for (std::size_t ky = 0; ky < kh; ++ky) {
-                        const long iy = static_cast<long>(oy * stride + ky) -
-                                        static_cast<long>(pad);
-                        for (std::size_t kx = 0; kx < kw; ++kx, ++idx) {
-                            const long ix =
-                                static_cast<long>(ox * stride + kx) -
-                                static_cast<long>(pad);
-                            if (iy >= 0 && iy < static_cast<long>(h) &&
-                                ix >= 0 && ix < static_cast<long>(w)) {
-                                ch_base[iy * w + ix] += row[idx];
-                            }
+            const float *rowblock = in + (img * oh + oy) * ow * cols;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+                float *ch_base = img_base + ch * h * w;
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                    const long iy = static_cast<long>(oy * stride + ky) -
+                                    static_cast<long>(pad);
+                    if (iy < 0 || iy >= static_cast<long>(h))
+                        continue;
+                    const float *src0 = rowblock + (ch * kh + ky) * kw;
+                    float *dst_row = ch_base + iy * w;
+                    for (std::size_t ox = 0; ox < ox_lo; ++ox) {
+                        const long ix0 = static_cast<long>(ox * stride) -
+                                         static_cast<long>(pad);
+                        const float *src = src0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx) {
+                            const long ix = ix0 + static_cast<long>(kx);
+                            if (ix >= 0 && ix < static_cast<long>(w))
+                                dst_row[ix] += src[kx];
+                        }
+                    }
+                    for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
+                        float *d = dst_row + ox * stride - pad;
+                        const float *src = src0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx)
+                            d[kx] += src[kx];
+                    }
+                    for (std::size_t ox = ox_hi; ox < ow; ++ox) {
+                        const long ix0 = static_cast<long>(ox * stride) -
+                                         static_cast<long>(pad);
+                        const float *src = src0 + ox * cols;
+                        for (std::size_t kx = 0; kx < kw; ++kx) {
+                            const long ix = ix0 + static_cast<long>(kx);
+                            if (ix >= 0 && ix < static_cast<long>(w))
+                                dst_row[ix] += src[kx];
                         }
                     }
                 }

@@ -4,9 +4,16 @@
  * convolution layers.
  *
  * All GEMMs take 2-d tensors and write into a caller-provided output so
- * the training loop can reuse buffers. The ikj loop order keeps the inner
- * loop contiguous in both B and C, which is the main thing that matters on
- * the single-core host this simulator targets.
+ * the training loop can reuse buffers. The implementations are the
+ * cache-blocked, register-tiled kernels from gemm.h; every output element
+ * accumulates its k terms in ascending-p order (the same chain as the
+ * naive triple loop retained in reference.h), so results are bit-exact
+ * with the scalar kernels for all inputs — including non-finite ones:
+ * `0 * Inf` is NaN, never a skipped term. Outputs must not alias inputs.
+ *
+ * With FEDGPO_METRICS=profile, each entry point folds its wall time into
+ * a `kernel.*` span (kernel.matmul, kernel.matmul_bias, kernel.im2col,
+ * ...); at lower levels the probe is a single cached level check.
  */
 
 #ifndef FEDGPO_TENSOR_OPS_H_
@@ -19,9 +26,18 @@ namespace tensor {
 
 /**
  * C = A * B, with A of shape [m, k] and B of shape [k, n].
- * C is resized/zeroed to [m, n].
+ * C is resized to [m, n] and fully overwritten.
  */
 void matmul(const Tensor &a, const Tensor &b, Tensor &c);
+
+/**
+ * C = A * B + bias, with bias of shape [n] broadcast over rows — the
+ * fused epilogue used by the Dense and Conv2D forward passes. The bias
+ * is added after each element's k-chain completes, so the result is
+ * bit-identical to matmul followed by a separate bias-add pass.
+ */
+void matmulBias(const Tensor &a, const Tensor &b, const Tensor &bias,
+                Tensor &c);
 
 /**
  * C = A^T * B, with A of shape [k, m] and B of shape [k, n].
@@ -31,7 +47,7 @@ void matmulTransA(const Tensor &a, const Tensor &b, Tensor &c);
 
 /**
  * C = A * B^T, with A of shape [m, k] and B of shape [n, k].
- * C is resized/zeroed to [m, n].
+ * C is resized to [m, n] and fully overwritten.
  */
 void matmulTransB(const Tensor &a, const Tensor &b, Tensor &c);
 
@@ -46,7 +62,10 @@ void matmulAccum(const Tensor &a, const Tensor &b, Tensor &c);
  *
  * Expands input of shape [n, c, h, w] into columns of shape
  * [n * out_h * out_w, c * kh * kw] so convolution becomes one GEMM per
- * batch. Zero padding `pad` on all sides; stride `stride`.
+ * batch. Zero padding `pad` on all sides; stride `stride`. Interior
+ * output positions are written as contiguous kw-wide row strips per
+ * (channel, tap-row); 1x1/stride-1/pad-0 kernels take a pure-transpose
+ * fast path (the MobileNet pointwise convolutions).
  */
 void im2col(const Tensor &input, std::size_t kh, std::size_t kw,
             std::size_t stride, std::size_t pad, Tensor &columns);
@@ -54,7 +73,8 @@ void im2col(const Tensor &input, std::size_t kh, std::size_t kw,
 /**
  * Inverse of im2col: scatter-add columns back into an input-shaped
  * gradient tensor of shape [n, c, h, w] (must be pre-shaped; it is
- * zeroed first).
+ * zeroed first). Each input pixel accumulates its contributions in
+ * ascending (oy, ox) order, matching the reference scatter bit-exactly.
  */
 void col2im(const Tensor &columns, std::size_t kh, std::size_t kw,
             std::size_t stride, std::size_t pad, Tensor &input_grad);

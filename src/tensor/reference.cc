@@ -1,0 +1,204 @@
+#include "tensor/reference.h"
+
+#include <cassert>
+
+namespace fedgpo {
+namespace tensor {
+namespace reference {
+
+namespace {
+
+void
+prepareOut(Tensor &c, std::size_t m, std::size_t n)
+{
+    if (c.ndim() != 2 || c.dim(0) != m || c.dim(1) != n)
+        c = Tensor({m, n});
+    else
+        c.zero();
+}
+
+} // namespace
+
+void
+matmulRef(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    assert(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), n = b.dim(1);
+    assert(b.dim(0) == a.dim(1));
+    prepareOut(c, m, n);
+    matmulAccumRef(a, b, c);
+}
+
+void
+matmulAccumRef(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    assert(a.ndim() == 2 && b.ndim() == 2 && c.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        float *crow = pc + i * n;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            const float *brow = pb + p * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransARef(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    assert(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    prepareOut(c, m, n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // C[i][j] = sum_p A[p][i] * B[p][j]; p outer keeps both reads
+    // row-contiguous and gives each element an ascending-p chain.
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = pa + p * m;
+        const float *brow = pb + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransBRef(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    assert(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    assert(b.dim(1) == k);
+    prepareOut(c, m, n);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        float *crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+}
+
+void
+matmulBiasRef(const Tensor &a, const Tensor &b, const Tensor &bias,
+              Tensor &c)
+{
+    assert(bias.ndim() == 1 && bias.dim(0) == b.dim(1));
+    matmulRef(a, b, c);
+    const std::size_t m = c.dim(0), n = c.dim(1);
+    float *pc = c.data();
+    const float *pb = bias.data();
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            pc[i * n + j] += pb[j];
+}
+
+void
+im2colRef(const Tensor &input, std::size_t kh, std::size_t kw,
+          std::size_t stride, std::size_t pad, Tensor &columns)
+{
+    assert(input.ndim() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    const std::size_t oh = (h + 2 * pad - kh) / stride + 1;
+    const std::size_t ow = (w + 2 * pad - kw) / stride + 1;
+    const std::size_t rows = n * oh * ow;
+    const std::size_t cols = c * kh * kw;
+    if (columns.ndim() != 2 || columns.dim(0) != rows ||
+        columns.dim(1) != cols) {
+        columns = Tensor({rows, cols});
+    }
+    float *out = columns.data();
+    const float *in = input.data();
+    for (std::size_t img = 0; img < n; ++img) {
+        const float *img_base = in + img * c * h * w;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+                float *row = out + ((img * oh + oy) * ow + ox) * cols;
+                std::size_t idx = 0;
+                for (std::size_t ch = 0; ch < c; ++ch) {
+                    const float *ch_base = img_base + ch * h * w;
+                    for (std::size_t ky = 0; ky < kh; ++ky) {
+                        const long iy = static_cast<long>(oy * stride + ky) -
+                                        static_cast<long>(pad);
+                        for (std::size_t kx = 0; kx < kw; ++kx, ++idx) {
+                            const long ix =
+                                static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                            if (iy < 0 || iy >= static_cast<long>(h) ||
+                                ix < 0 || ix >= static_cast<long>(w)) {
+                                row[idx] = 0.0f;
+                            } else {
+                                row[idx] = ch_base[iy * w + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2imRef(const Tensor &columns, std::size_t kh, std::size_t kw,
+          std::size_t stride, std::size_t pad, Tensor &input_grad)
+{
+    assert(input_grad.ndim() == 4);
+    const std::size_t n = input_grad.dim(0), c = input_grad.dim(1);
+    const std::size_t h = input_grad.dim(2), w = input_grad.dim(3);
+    const std::size_t oh = (h + 2 * pad - kh) / stride + 1;
+    const std::size_t ow = (w + 2 * pad - kw) / stride + 1;
+    const std::size_t cols = c * kh * kw;
+    assert(columns.ndim() == 2);
+    assert(columns.dim(0) == n * oh * ow && columns.dim(1) == cols);
+    input_grad.zero();
+    const float *in = columns.data();
+    float *out = input_grad.data();
+    for (std::size_t img = 0; img < n; ++img) {
+        float *img_base = out + img * c * h * w;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+                const float *row = in + ((img * oh + oy) * ow + ox) * cols;
+                std::size_t idx = 0;
+                for (std::size_t ch = 0; ch < c; ++ch) {
+                    float *ch_base = img_base + ch * h * w;
+                    for (std::size_t ky = 0; ky < kh; ++ky) {
+                        const long iy = static_cast<long>(oy * stride + ky) -
+                                        static_cast<long>(pad);
+                        for (std::size_t kx = 0; kx < kw; ++kx, ++idx) {
+                            const long ix =
+                                static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                            if (iy >= 0 && iy < static_cast<long>(h) &&
+                                ix >= 0 && ix < static_cast<long>(w)) {
+                                ch_base[iy * w + ix] += row[idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace reference
+} // namespace tensor
+} // namespace fedgpo

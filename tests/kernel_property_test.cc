@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Property-based equivalence suite for the blocked kernel layer.
+ *
+ * The blocked GEMM/im2col kernels in tensor/ops.h promise bit-exact
+ * agreement with the naive reference kernels in tensor/reference.h for
+ * every input — the blocking may reorder i/j tiles and pack B panels, but
+ * each output element must fold its k terms in the same ascending-p order.
+ * These tests sweep random shapes (including k=1, n=1, and extents that
+ * are not multiples of the register tile) and compare bit patterns, which
+ * is NaN-safe where operator== is not.
+ *
+ * Also pins the non-finite contract: 0 * Inf must produce NaN instead of
+ * being skipped (the pre-kernel-layer accumulate/transA GEMMs skipped
+ * zero multiplicands, silently masking diverged updates).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/reference.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using fedgpo::tensor::Tensor;
+namespace ops = fedgpo::tensor;
+namespace ref = fedgpo::tensor::reference;
+
+void
+fillRandom(Tensor &t, std::mt19937 &gen)
+{
+    std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = dist(gen);
+}
+
+::testing::AssertionResult
+bitEqual(const Tensor &got, const Tensor &want)
+{
+    if (got.shape() != want.shape())
+        return ::testing::AssertionFailure()
+               << "shape mismatch: " << fedgpo::tensor::shapeToString(
+                      got.shape())
+               << " vs " << fedgpo::tensor::shapeToString(want.shape());
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+        std::uint32_t gb, wb;
+        const float gv = got[i], wv = want[i];
+        std::memcpy(&gb, &gv, sizeof(gb));
+        std::memcpy(&wb, &wv, sizeof(wb));
+        // NaN payload/sign is not part of the contract: which source NaN
+        // a multiply-add propagates depends on instruction operand order,
+        // which differs between the vectorized and scalar compilations.
+        // Any NaN matches any NaN; everything else (finite values, Inf
+        // signs, zero signs) must match bit for bit.
+        if (std::isnan(gv) && std::isnan(wv))
+            continue;
+        if (gb != wb)
+            return ::testing::AssertionFailure()
+                   << "element " << i << ": " << gv << " (0x" << std::hex
+                   << gb << ") vs " << wv << " (0x" << wb << ")";
+    }
+    return ::testing::AssertionSuccess();
+}
+
+struct GemmShape {
+    std::size_t m, k, n;
+};
+
+// Degenerate extents, register-tile edges (tiles are 4x8), and the actual
+// GEMM shapes the model zoo produces.
+const GemmShape kShapes[] = {
+    {1, 1, 1},   {1, 1, 8},    {4, 1, 8},   {3, 17, 5},  {5, 3, 1},
+    {8, 2, 9},   {17, 31, 33}, {33, 9, 8},  {13, 8, 16}, {9, 300, 7},
+    {2, 28, 128}, {6, 72, 16}, {12, 512, 20}, {40, 9, 8},
+};
+
+TEST(KernelEquivalence, MatmulMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(20260806);
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.k, s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        Tensor got, want;
+        ops::matmul(a, b, got);
+        ref::matmulRef(a, b, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "matmul m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, MatmulBiasMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(7);
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.k, s.n}), bias({s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        fillRandom(bias, gen);
+        Tensor got, want;
+        ops::matmulBias(a, b, bias, got);
+        ref::matmulBiasRef(a, b, bias, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "matmulBias m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, MatmulBiasMatchesSeparateBiasPass)
+{
+    // The fused epilogue must equal matmul followed by a bias add: the
+    // bias joins after the k-chain, never as the accumulator seed.
+    std::mt19937 gen(11);
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.k, s.n}), bias({s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        fillRandom(bias, gen);
+        Tensor fused, separate;
+        ops::matmulBias(a, b, bias, fused);
+        ops::matmul(a, b, separate);
+        for (std::size_t r = 0; r < s.m; ++r)
+            for (std::size_t c = 0; c < s.n; ++c)
+                separate.at(r, c) += bias[c];
+        EXPECT_TRUE(bitEqual(fused, separate))
+            << "fused bias m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, MatmulAccumMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(13);
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.k, s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        Tensor got({s.m, s.n});
+        fillRandom(got, gen);
+        Tensor want = got;
+        ops::matmulAccum(a, b, got);
+        ref::matmulAccumRef(a, b, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "matmulAccum m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, MatmulTransAMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(17);
+    for (const auto &s : kShapes) {
+        Tensor a({s.k, s.m}), b({s.k, s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        Tensor got, want;
+        ops::matmulTransA(a, b, got);
+        ref::matmulTransARef(a, b, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "matmulTransA m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, MatmulTransBMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(19);
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.n, s.k});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        Tensor got, want;
+        ops::matmulTransB(a, b, got);
+        ref::matmulTransBRef(a, b, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "matmulTransB m=" << s.m << " k=" << s.k << " n=" << s.n;
+    }
+}
+
+TEST(KernelEquivalence, NonFiniteInputsMatchReferenceBitExactly)
+{
+    // Sprinkle Inf/NaN into A and B: the blocked kernels run the same
+    // multiply-add chain as the reference, so even non-finite results must
+    // agree bit for bit.
+    std::mt19937 gen(23);
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (const auto &s : kShapes) {
+        Tensor a({s.m, s.k}), b({s.k, s.n});
+        fillRandom(a, gen);
+        fillRandom(b, gen);
+        a[0] = inf;
+        b[s.k * s.n / 2] = nan;
+        if (s.k > 1) {
+            a[s.k - 1] = 0.0f;
+            b[(s.k - 1) * s.n] = inf;
+        }
+        Tensor got, want;
+        ops::matmul(a, b, got);
+        ref::matmulRef(a, b, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "non-finite matmul m=" << s.m << " k=" << s.k
+            << " n=" << s.n;
+    }
+}
+
+TEST(KernelNonFinite, AccumPropagatesZeroTimesInfAsNaN)
+{
+    // Regression for the old `av == 0.0f` skip in matmulAccum: a zero
+    // activation against an Inf weight must produce NaN, not leave the
+    // accumulator untouched.
+    Tensor a({1, 1});
+    Tensor b({1, 1});
+    Tensor c({1, 1});
+    a[0] = 0.0f;
+    b[0] = std::numeric_limits<float>::infinity();
+    c[0] = 5.0f;
+    ops::matmulAccum(a, b, c);
+    EXPECT_TRUE(std::isnan(c[0]))
+        << "0 * Inf was masked in matmulAccum: " << c[0];
+}
+
+TEST(KernelNonFinite, TransAPropagatesZeroTimesInfAsNaN)
+{
+    // Same regression for the old skip in matmulTransA (the dW GEMM): a
+    // zero activation column against an Inf upstream gradient must yield a
+    // NaN weight gradient so divergence is visible in the update.
+    Tensor a({1, 1});
+    Tensor b({1, 1});
+    Tensor c;
+    a[0] = 0.0f;
+    b[0] = std::numeric_limits<float>::infinity();
+    ops::matmulTransA(a, b, c);
+    ASSERT_EQ(c.numel(), 1u);
+    EXPECT_TRUE(std::isnan(c[0]))
+        << "0 * Inf was masked in matmulTransA: " << c[0];
+}
+
+struct ConvCase {
+    std::size_t n, c, h, w, k, stride, pad;
+};
+
+const ConvCase kConvCases[] = {
+    {1, 1, 1, 1, 1, 1, 0},  // degenerate
+    {2, 3, 5, 5, 1, 1, 0},  // 1x1 fast path (MobileNet pointwise)
+    {2, 3, 5, 5, 1, 2, 1},  // 1x1 but NOT the fast path (stride/pad)
+    {1, 2, 7, 9, 3, 1, 1},  // interior strips + clipped borders
+    {2, 1, 8, 8, 3, 2, 1},  // strided
+    {1, 3, 9, 7, 4, 3, 2},  // even kernel, stride 3, pad 2
+    {3, 2, 6, 6, 2, 2, 0},  // no padding, even kernel
+    {1, 1, 5, 5, 3, 1, 2},  // pad larger than usual: full border rows
+    {2, 2, 16, 16, 3, 2, 1}, // the zoo's MobileNet stem geometry
+};
+
+TEST(KernelEquivalence, Im2colMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(29);
+    for (const auto &cc : kConvCases) {
+        Tensor in({cc.n, cc.c, cc.h, cc.w});
+        fillRandom(in, gen);
+        Tensor got, want;
+        ops::im2col(in, cc.k, cc.k, cc.stride, cc.pad, got);
+        ref::im2colRef(in, cc.k, cc.k, cc.stride, cc.pad, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "im2col n=" << cc.n << " c=" << cc.c << " h=" << cc.h
+            << " w=" << cc.w << " k=" << cc.k << " s=" << cc.stride
+            << " p=" << cc.pad;
+    }
+}
+
+TEST(KernelEquivalence, Col2imMatchesReferenceBitExactly)
+{
+    std::mt19937 gen(31);
+    for (const auto &cc : kConvCases) {
+        const std::size_t oh =
+            ops::convOutExtent(cc.h, cc.k, cc.stride, cc.pad);
+        const std::size_t ow =
+            ops::convOutExtent(cc.w, cc.k, cc.stride, cc.pad);
+        Tensor cols({cc.n * oh * ow, cc.c * cc.k * cc.k});
+        fillRandom(cols, gen);
+        Tensor got({cc.n, cc.c, cc.h, cc.w});
+        Tensor want({cc.n, cc.c, cc.h, cc.w});
+        ops::col2im(cols, cc.k, cc.k, cc.stride, cc.pad, got);
+        ref::col2imRef(cols, cc.k, cc.k, cc.stride, cc.pad, want);
+        EXPECT_TRUE(bitEqual(got, want))
+            << "col2im n=" << cc.n << " c=" << cc.c << " h=" << cc.h
+            << " w=" << cc.w << " k=" << cc.k << " s=" << cc.stride
+            << " p=" << cc.pad;
+    }
+}
+
+TEST(KernelEquivalence, Col2imIsAdjointOfIm2col)
+{
+    // <im2col(x), y> == <x, col2im(y)> — the transforms are transposes of
+    // the same linear map, which pins the scatter geometry independently
+    // of the reference implementation. Double accumulation, small
+    // tolerance (the two dot products associate differently).
+    std::mt19937 gen(37);
+    for (const auto &cc : kConvCases) {
+        const std::size_t oh =
+            ops::convOutExtent(cc.h, cc.k, cc.stride, cc.pad);
+        const std::size_t ow =
+            ops::convOutExtent(cc.w, cc.k, cc.stride, cc.pad);
+        Tensor x({cc.n, cc.c, cc.h, cc.w});
+        Tensor y({cc.n * oh * ow, cc.c * cc.k * cc.k});
+        fillRandom(x, gen);
+        fillRandom(y, gen);
+        Tensor cols;
+        ops::im2col(x, cc.k, cc.k, cc.stride, cc.pad, cols);
+        Tensor xg({cc.n, cc.c, cc.h, cc.w});
+        ops::col2im(y, cc.k, cc.k, cc.stride, cc.pad, xg);
+        double lhs = 0.0, rhs = 0.0;
+        for (std::size_t i = 0; i < cols.numel(); ++i)
+            lhs += static_cast<double>(cols[i]) * y[i];
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            rhs += static_cast<double>(x[i]) * xg[i];
+        EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0))
+            << "adjoint n=" << cc.n << " c=" << cc.c << " k=" << cc.k
+            << " s=" << cc.stride << " p=" << cc.pad;
+    }
+}
+
+} // namespace

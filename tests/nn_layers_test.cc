@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "nn/activations.h"
@@ -40,6 +41,40 @@ TEST(Dense, OutputShapeAndBias)
     ASSERT_EQ(y.shape(), (Shape{4, 2}));
     EXPECT_EQ(y.at(0, 0), 1.5f);
     EXPECT_EQ(y.at(3, 1), -0.5f);
+}
+
+TEST(Dense, InfWeightAgainstZeroInputYieldsNaNNotZero)
+{
+    // Non-finite contract of the kernel layer: 0 * Inf is NaN, never a
+    // silently skipped term, so a diverged weight is visible in the
+    // activations even when the corresponding input happens to be zero.
+    util::Rng rng(41);
+    Dense layer(2, 2, rng);
+    (*layer.params()[0])[0] = std::numeric_limits<float>::infinity();
+    Tensor x({1, 2}, 0.0f);
+    const Tensor &y = layer.forward(x, false);
+    EXPECT_TRUE(std::isnan(y.at(0, 0)))
+        << "Inf weight masked by zero input: " << y.at(0, 0);
+}
+
+TEST(DepthwiseConv2D, ZeroUpstreamGradAgainstInfInputPropagatesNaN)
+{
+    // Regression for the old `g == 0.0f` skip in the depthwise backward:
+    // a zero upstream gradient against an Inf activation must put NaN in
+    // the weight gradient, not leave it untouched.
+    util::Rng rng(42);
+    DepthwiseConv2D layer(1, 3, 4, 4, 1, 1, rng);
+    Tensor x({1, 1, 4, 4}, 0.0f);
+    x[0] = std::numeric_limits<float>::infinity();
+    layer.forward(x, true);
+    Tensor dy({1, 1, 4, 4}, 0.0f);
+    layer.backward(dy);
+    const Tensor &dw = *layer.grads()[0];
+    bool any_nan = false;
+    for (std::size_t i = 0; i < dw.numel(); ++i)
+        any_nan = any_nan || std::isnan(dw[i]);
+    EXPECT_TRUE(any_nan)
+        << "0 * Inf masked by the depthwise zero-gradient skip";
 }
 
 TEST(Dense, ParamCountAndKind)

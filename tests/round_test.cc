@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "fl/round/aggregator.h"
+#include "nn/dense.h"
+#include "util/rng.h"
 #include "fl/round/round_engine.h"
 #include "fl/round/straggler_policy.h"
 #include "fl/round/trace_writer.h"
@@ -234,6 +236,32 @@ TEST(RejectDivergedUpdates, NonFiniteUpdateExcludedFromAggregation)
     EXPECT_EQ(stats.contributors, 1u);
     EXPECT_FLOAT_EQ(gw[0], 2.0f) << "only the finite update contributes";
     EXPECT_TRUE(std::isfinite(gw[0]));
+}
+
+TEST(RejectDivergedUpdates, InfActivationGradientFlaggedNotMasked)
+{
+    // Regression for the kernel-layer zero-skip: a client whose backward
+    // pass hits 0 * Inf (zero activation against an Inf upstream gradient)
+    // must produce a NaN weight gradient — the old GEMMs skipped zero
+    // multiplicands, so the gradient stayed finite and the diverged update
+    // sailed through aggregation unflagged.
+    util::Rng lrng(5);
+    nn::Dense layer(2, 2, lrng);
+    layer.zeroGrad();
+    tensor::Tensor x({1, 2}, 0.0f);
+    layer.forward(x, true);
+    tensor::Tensor dy({1, 2}, std::numeric_limits<float>::infinity());
+    layer.backward(dy);
+    const tensor::Tensor &dw = *layer.grads()[0];
+    ASSERT_TRUE(std::isnan(dw[0]))
+        << "0 * Inf in dW was masked by a kernel zero-skip: " << dw[0];
+
+    // An update carrying that gradient is caught by divergence rejection.
+    std::vector<float> gw = {0.0f};
+    RoundContext ctx = contextWithUpdates({2.0f, dw[0]}, {1, 1}, gw);
+    EXPECT_EQ(rejectDivergedUpdates(ctx), 1u);
+    EXPECT_TRUE(ctx.result.participants[1].dropped);
+    EXPECT_EQ(ctx.result.participants[1].drop_reason, DropReason::Diverged);
 }
 
 TEST(RejectDivergedUpdates, AlreadyDroppedClientsNotRecounted)
