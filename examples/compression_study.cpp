@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compression study: Identity vs Int8 quantization vs TopK
+ * sparsification under fig04-style runtime variance (co-running
+ * interference + unstable network). For each codec the same fleet trains
+ * the same schedule; the study reports time-to-accuracy, modeled energy,
+ * and exact uplink/downlink byte totals, then checks the headline claim:
+ * the lossy codecs cut modeled upload bytes by several x while landing
+ * within a couple points of Identity's final accuracy (the banked TopK
+ * residual and unbiased Int8 rounding are what make that possible).
+ *
+ *   ./build/examples/compression_study [--smoke]
+ *
+ * --smoke shrinks the fleet and round count for CI; the byte-reduction
+ * checks still run (they are scale-free), only the accuracy-parity
+ * tolerance is relaxed to match the noisier short run. Exits non-zero
+ * when a check fails, so CI can gate on it.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "comm/codec.h"
+#include "exp/scenario.h"
+#include "fl/simulator.h"
+#include "runtime/runtime_config.h"
+#include "util/table.h"
+
+using namespace fedgpo;
+
+namespace {
+
+struct StudyResult
+{
+    std::string codec;
+    double final_accuracy = 0.0;
+    double best_accuracy = 0.0;
+    double total_energy = 0.0;
+    double total_time = 0.0;
+    double time_to_target = -1.0; //!< simulated s to reach the target
+    std::uint64_t bytes_up = 0;
+    std::uint64_t bytes_down = 0;
+};
+
+StudyResult
+runStudy(comm::Codec codec, bool smoke, double target_accuracy)
+{
+    exp::Scenario scenario;
+    scenario.workload = models::Workload::CnnMnist;
+    scenario.variance = exp::Variance::Both; // fig04-style runtime noise
+    scenario.distribution = data::Distribution::IidIdeal;
+    scenario.seed = 23;
+    scenario.n_devices = smoke ? 12 : 32;
+    scenario.train_samples = smoke ? 240 : 800;
+    scenario.test_samples = smoke ? 80 : 160;
+    const int rounds = smoke ? 6 : 25;
+
+    fl::FlConfig config = scenario.toFlConfig();
+    config.comm.codec = codec;
+
+    fl::FlSimulator sim(config);
+    StudyResult out;
+    out.codec = comm::codecName(codec);
+    for (int r = 0; r < rounds; ++r) {
+        const fl::RoundResult res =
+            sim.runRoundWithParams(fl::GlobalParams{8, 5, 10});
+        out.final_accuracy = res.test_accuracy;
+        out.best_accuracy = std::max(out.best_accuracy, res.test_accuracy);
+        out.total_energy += res.energy_total;
+        out.total_time += res.round_time;
+        out.bytes_up += res.bytes_up_total;
+        out.bytes_down += res.bytes_down_total;
+        if (out.time_to_target < 0.0 &&
+            res.test_accuracy >= target_accuracy)
+            out.time_to_target = out.total_time;
+    }
+    return out;
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    return util::fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) +
+           " MiB";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    std::cout << "Runtime: " << runtime::resolveThreads(0)
+              << " worker thread(s) (override with FEDGPO_THREADS)\n";
+    std::cout << "Mode: " << (smoke ? "smoke" : "full") << "\n\n";
+
+    const double target_accuracy = smoke ? 0.5 : 0.8;
+    std::vector<StudyResult> results;
+    for (const comm::Codec codec :
+         {comm::Codec::Identity, comm::Codec::Int8Quant,
+          comm::Codec::TopK}) {
+        results.push_back(runStudy(codec, smoke, target_accuracy));
+    }
+    const StudyResult &identity = results[0];
+
+    util::Table table({"codec", "final acc", "best acc", "bytes up",
+                       "upload reduction", "energy (J)",
+                       "t to " + util::fmtPct(target_accuracy, 0)});
+    for (const StudyResult &r : results) {
+        const double reduction =
+            r.bytes_up > 0 ? static_cast<double>(identity.bytes_up) /
+                                 static_cast<double>(r.bytes_up)
+                           : 0.0;
+        table.addRow({r.codec, util::fmtPct(r.final_accuracy, 1),
+                      util::fmtPct(r.best_accuracy, 1), fmtBytes(r.bytes_up),
+                      util::fmt(reduction, 2) + "x",
+                      util::fmt(r.total_energy, 0),
+                      r.time_to_target >= 0.0
+                          ? util::fmt(r.time_to_target, 0) + " s"
+                          : "never"});
+    }
+    table.print(std::cout,
+                "Identity vs Int8 vs TopK under runtime variance");
+
+    // Headline checks (CI gates on the exit code).
+    int failures = 0;
+    const StudyResult &int8 = results[1];
+    const StudyResult &topk = results[2];
+    const double int8_reduction = static_cast<double>(identity.bytes_up) /
+                                  static_cast<double>(int8.bytes_up);
+    const double topk_reduction = static_cast<double>(identity.bytes_up) /
+                                  static_cast<double>(topk.bytes_up);
+    // Int8's ceiling is just under 4x (1 byte/param + chunk scales);
+    // TopK(0.1) models 8 bytes per kept param: 5x.
+    if (int8_reduction < 3.5) {
+        std::cerr << "FAIL: int8 upload reduction " << int8_reduction
+                  << "x < 3.5x\n";
+        ++failures;
+    }
+    if (topk_reduction < 4.0) {
+        std::cerr << "FAIL: topk upload reduction " << topk_reduction
+                  << "x < 4x\n";
+        ++failures;
+    }
+    const double accuracy_tolerance = smoke ? 0.10 : 0.02;
+    for (const StudyResult *r : {&int8, &topk}) {
+        if (r->final_accuracy + accuracy_tolerance <
+            identity.final_accuracy) {
+            std::cerr << "FAIL: " << r->codec << " final accuracy "
+                      << r->final_accuracy << " more than "
+                      << accuracy_tolerance << " below identity's "
+                      << identity.final_accuracy << "\n";
+            ++failures;
+        }
+    }
+    if (identity.bytes_down != int8.bytes_down) {
+        std::cerr << "FAIL: downlink bytes must not depend on the "
+                     "(uplink) codec\n";
+        ++failures;
+    }
+
+    if (failures == 0)
+        std::cout << "\nAll compression-study checks passed.\n";
+    return failures == 0 ? 0 : 1;
+}

@@ -10,7 +10,8 @@ namespace fedgpo {
 namespace core {
 
 FedGpo::FedGpo(const FedGpoConfig &config)
-    : config_(config), rng_(config.seed)
+    : config_(config), rng_(config.seed),
+      codec_rng_(config.seed ^ 0xC0DECULL)
 {
     // One shared Q-table per performance category (Section 3.3). With
     // shared_tables disabled (footnote 2's per-device variant) these act
@@ -23,6 +24,14 @@ FedGpo::FedGpo(const FedGpoConfig &config)
     k_table_ = std::make_unique<QTable>(kNumGlobalStates,
                                         kNumClientActions, rng_, 0.0,
                                         config_.optimism);
+    // The fourth knob's table initializes from its own stream so the
+    // (B, E, K) tables — and every draw rng_ makes after construction —
+    // are bit-identical whether or not codec adaptation is enabled.
+    if (config_.adapt_codec)
+        codec_table_ = std::make_unique<QTable>(kNumGlobalStates,
+                                                kNumCodecActions,
+                                                codec_rng_, 0.0,
+                                                config_.optimism);
 }
 
 QTable &
@@ -263,12 +272,13 @@ FedGpo::feedback(const fl::RoundResult &result)
     // a much higher cap than the per-device one — masking the progress
     // difference between K=20 and K=5 would push the policy to tiny
     // cohorts long before the model has converged.
-    if (has_pending_k_) {
+    double global_reward = 0.0;
+    if (has_pending_k_ || has_pending_codec_) {
         RewardConfig k_reward = config_.reward;
         k_reward.delta_cap = 8.0;
         const RewardBreakdown breakdown = fedgpoRewardDetailed(
             e_global, 0.0, accuracy_smooth_, prev_smooth, 1.0, k_reward);
-        double reward = breakdown.total;
+        global_reward = breakdown.total;
         decision_.reward.total = breakdown.total;
         decision_.reward.energy_global_term = breakdown.energy_global_term;
         decision_.reward.energy_local_term = breakdown.energy_local_term;
@@ -281,22 +291,40 @@ FedGpo::feedback(const fl::RoundResult &result)
         // stall-branch outcome so the learner raises the cohort size —
         // over-provisioning against dropout — rather than shrinking it.
         if (result.aborted) {
-            reward = accuracy_smooth_ * 100.0 - 100.0 - 50.0;
+            global_reward = accuracy_smooth_ * 100.0 - 100.0 - 50.0;
             decision_.reward = obs::RewardTerms{};
-            decision_.reward.total = reward;
+            decision_.reward.total = global_reward;
             decision_.reward.accuracy_term = accuracy_smooth_ * 100.0;
             decision_.reward.stall_penalty = -100.0;
             decision_.reward.abort_penalty = -50.0;
             decision_.reward.stall_branch = true;
             decision_.reward.aborted = true;
         }
+    }
+    if (has_pending_k_) {
         const double k_gamma = std::max(
             config_.gamma,
             1.0 / (1.0 + k_table_->visits(pending_k_state_,
                                           pending_k_action_)));
-        k_table_->update(pending_k_state_, pending_k_action_, reward,
+        k_table_->update(pending_k_state_, pending_k_action_, global_reward,
                          pending_k_state_, k_gamma, config_.mu);
         has_pending_k_ = false;
+    }
+
+    // Codec axis: the codec level sees the same global reward as K. Comm
+    // energy enters Eq. 1 through the round's total energy and accuracy
+    // through the smoothed signal, so a lossy codec that cuts upload
+    // energy without stalling convergence earns a higher Q than identity
+    // — and one that stalls the model pays through the accuracy branch.
+    if (has_pending_codec_) {
+        const double c_gamma = std::max(
+            config_.gamma,
+            1.0 / (1.0 + codec_table_->visits(pending_codec_state_,
+                                              pending_codec_action_)));
+        codec_table_->update(pending_codec_state_, pending_codec_action_,
+                             global_reward, pending_codec_state_, c_gamma,
+                             config_.mu);
+        has_pending_codec_ = false;
     }
 
     decision_.device_reward_mean =
@@ -310,6 +338,44 @@ FedGpo::feedback(const fl::RoundResult &result)
     pending_.clear();
 }
 
+comm::Codec
+FedGpo::chooseCodec(comm::Codec configured)
+{
+    if (!config_.adapt_codec)
+        return configured;
+    // Same global state as the K decision (chooseCodec runs after
+    // assign(), so pending_k_state_ already reflects this round's census
+    // and data bucket — the state feedback() will update against).
+    const std::size_t state = pending_k_state_;
+    const bool swept = codec_table_->stateSwept(state);
+    std::size_t action;
+    bool explored = false;
+    if (swept) {
+        action = codec_table_->bestAction(state);
+    } else if (codec_rng_.uniform() < config_.epsilon) {
+        action = codec_rng_.index(kNumCodecActions);
+        explored = true;
+    } else {
+        action = codec_table_->bestAction(state);
+    }
+    pending_codec_state_ = state;
+    pending_codec_action_ = action;
+    has_pending_codec_ = true;
+    const comm::Codec codec = codecActionValue(action);
+
+    decision_.has_codec = true;
+    decision_.codec_state = state;
+    decision_.codec_action = action;
+    decision_.codec_name = comm::codecName(codec);
+    decision_.codec_explored = explored;
+    decision_.codec_swept = swept;
+    decision_.codec_qrow.clear();
+    decision_.codec_qrow.reserve(kNumCodecActions);
+    for (std::size_t a = 0; a < kNumCodecActions; ++a)
+        decision_.codec_qrow.push_back(codec_table_->q(state, a));
+    return codec;
+}
+
 const obs::DecisionRecord *
 FedGpo::lastDecision() const
 {
@@ -320,6 +386,8 @@ std::size_t
 FedGpo::qTableBytes() const
 {
     std::size_t total = k_table_->bytes();
+    if (codec_table_)
+        total += codec_table_->bytes();
     for (const auto &t : category_tables_)
         total += t->bytes();
     for (const auto &[id, t] : device_tables_)
@@ -335,6 +403,8 @@ FedGpo::saveState(std::ostream &os) const
     for (const auto &t : category_tables_)
         t->serialize(os);
     k_table_->serialize(os);
+    if (codec_table_)
+        codec_table_->serialize(os);
 }
 
 void
@@ -343,6 +413,8 @@ FedGpo::loadState(std::istream &is)
     for (auto &t : category_tables_)
         t->deserialize(is);
     k_table_->deserialize(is);
+    if (codec_table_)
+        codec_table_->deserialize(is);
     device_tables_.clear();
 }
 
@@ -350,6 +422,8 @@ double
 FedGpo::learningDelta() const
 {
     double max_delta = k_table_->recentMaxDelta();
+    if (codec_table_)
+        max_delta = std::max(max_delta, codec_table_->recentMaxDelta());
     for (const auto &t : category_tables_)
         max_delta = std::max(max_delta, t->recentMaxDelta());
     return max_delta;

@@ -68,6 +68,14 @@ struct FedGpoConfig
      */
     double optimism = 40.0;
     std::uint64_t seed = 1;
+
+    /**
+     * Learn the update-codec level as a fourth (global) action axis over
+     * the same global state as K. Off by default: the codec Q-table and
+     * its exploration stream exist only when enabled, so the default
+     * learning trajectory is bit-identical to the three-knob policy.
+     */
+    bool adapt_codec = false;
 };
 
 /**
@@ -83,6 +91,7 @@ class FedGpo : public optim::ParamOptimizer
     std::vector<fl::PerDeviceParams>
     assign(const std::vector<fl::DeviceObservation> &devices,
            const nn::LayerCensus &census) override;
+    comm::Codec chooseCodec(comm::Codec configured) override;
     void feedback(const fl::RoundResult &result) override;
 
     /**
@@ -110,6 +119,12 @@ class FedGpo : public optim::ParamOptimizer
 
     /** Global K Q-table. */
     const QTable &clientTable() const { return *k_table_; }
+
+    /**
+     * Global codec Q-table (the fourth action axis). Only exists with
+     * config.adapt_codec; null otherwise.
+     */
+    const QTable *codecTable() const { return codec_table_.get(); }
 
     /**
      * Largest recent Q-update magnitude across all tables — the paper's
@@ -143,6 +158,16 @@ class FedGpo : public optim::ParamOptimizer
     std::vector<std::unique_ptr<QTable>> category_tables_;
     std::map<std::size_t, std::unique_ptr<QTable>> device_tables_;
     std::unique_ptr<QTable> k_table_;
+    /**
+     * Codec axis state. The codec table draws its initialization and
+     * exploration from codec_rng_, a stream independent of rng_, so
+     * enabling the fourth knob cannot perturb the (B, E, K) trajectory.
+     */
+    std::unique_ptr<QTable> codec_table_;
+    util::Rng codec_rng_;
+    std::size_t pending_codec_state_ = 0;
+    std::size_t pending_codec_action_ = 0;
+    bool has_pending_codec_ = false;
     std::vector<Decision> pending_;
     std::size_t pending_k_state_ = 0;
     std::size_t pending_k_action_ = 0;

@@ -93,10 +93,23 @@ clientRoundCost(const DeviceProfile &dev, const WorkloadCost &cost,
     out.t_comp = flops / effectiveFlops(dev, cost, work.batch,
                                         work.param_bytes, interference);
 
-    // Download of the global model plus upload of the update.
-    const double bytes =
-        2.0 * static_cast<double>(work.param_bytes) * cost.bytes_scale;
-    out.t_comm = NetworkModel::txTime(bytes, network.bandwidth_mbps);
+    // Download of the global model plus upload of the (possibly
+    // codec-encoded) update. The two directions are modeled separately;
+    // with an uncompressed upload (upload_bytes == 0 or == param_bytes)
+    // the sum is bit-identical to the former single 2x-payload formula,
+    // because txTime is linear and doubling is exact in floating point.
+    const double down_bytes =
+        static_cast<double>(work.param_bytes) * cost.bytes_scale;
+    const std::uint64_t up_payload =
+        work.upload_bytes != 0
+            ? work.upload_bytes
+            : static_cast<std::uint64_t>(work.param_bytes);
+    const double up_bytes =
+        static_cast<double>(up_payload) * cost.bytes_scale;
+    out.t_comm_down =
+        NetworkModel::txTime(down_bytes, network.bandwidth_mbps);
+    out.t_comm_up = NetworkModel::txTime(up_bytes, network.bandwidth_mbps);
+    out.t_comm = out.t_comm_down + out.t_comm_up;
     out.t_round = out.t_comp + out.t_comm;
 
     PowerModel power(dev);
@@ -107,12 +120,12 @@ clientRoundCost(const DeviceProfile &dev, const WorkloadCost &cost,
 }
 
 TxCost
-uploadCost(const WorkloadCost &cost, std::size_t param_bytes,
+uploadCost(const WorkloadCost &cost, std::size_t payload_bytes,
            const NetworkState &network)
 {
     TxCost out;
     const double bytes =
-        static_cast<double>(param_bytes) * cost.bytes_scale;
+        static_cast<double>(payload_bytes) * cost.bytes_scale;
     out.time = NetworkModel::txTime(bytes, network.bandwidth_mbps);
     out.energy = NetworkModel::txPower(network.signal) * out.time;
     return out;

@@ -54,6 +54,12 @@ struct LocalWorkSpec
     int batch = 8;                            //!< B
     int epochs = 1;                           //!< E
     std::size_t param_bytes = 0;              //!< proxy payload (one way)
+    /**
+     * Uplink payload in proxy bytes after update encoding; 0 (the
+     * default) means an uncompressed upload of param_bytes. The download
+     * is always the full model (the server ships raw weights).
+     */
+    std::uint64_t upload_bytes = 0;
 };
 
 /**
@@ -63,6 +69,8 @@ struct RoundCost
 {
     double t_comp = 0.0;  //!< local training time (s)
     double t_comm = 0.0;  //!< download + upload time (s)
+    double t_comm_down = 0.0; //!< global-model download time (s)
+    double t_comm_up = 0.0;   //!< encoded-update upload time (s)
     double t_round = 0.0; //!< t_comp + t_comm
     double e_comp = 0.0;  //!< Eq. 2 energy (J)
     double e_comm = 0.0;  //!< Eq. 3 energy (J)
@@ -100,12 +108,14 @@ struct TxCost
 };
 
 /**
- * Cost of one one-way upload of the model update under the client's
- * current network state — Eq. 3 applied to the upload payload alone.
- * This is what a failed upload burns, and what every retry re-burns;
- * the RecoveryPolicy charges it per retransmission.
+ * Cost of one one-way upload of `payload_bytes` proxy bytes under the
+ * client's current network state — Eq. 3 applied to the (possibly
+ * codec-encoded) upload payload alone. The caller supplies the actual
+ * payload; an uncompressed upload passes the model's param_bytes. This
+ * is what a failed upload burns, and what every retry re-burns; the
+ * RecoveryPolicy charges it per retransmission.
  */
-TxCost uploadCost(const WorkloadCost &cost, std::size_t param_bytes,
+TxCost uploadCost(const WorkloadCost &cost, std::size_t payload_bytes,
                   const NetworkState &network);
 
 } // namespace device

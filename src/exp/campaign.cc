@@ -132,6 +132,8 @@ CampaignTraceObserver::onRoundEnd(const fl::RoundResult &r)
     out_.upload_retries += r.upload_retries;
     if (r.aborted)
         ++out_.rounds_aborted;
+    out_.bytes_up_total += r.bytes_up_total;
+    out_.bytes_down_total += r.bytes_down_total;
     out_.total_energy += r.energy_total;
     out_.total_time += r.round_time;
     for (const auto &p : r.participants) {

@@ -10,6 +10,7 @@
 #define FEDGPO_EXP_CAMPAIGN_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -46,6 +47,10 @@ struct CampaignResult
     std::size_t dropped_upload = 0;  //!< uploads lost after retries
     std::size_t upload_retries = 0;  //!< retransmissions performed
     std::size_t rounds_aborted = 0;  //!< rounds that missed quorum
+
+    // Communication totals (modeled wire bytes, exact integers).
+    std::uint64_t bytes_up_total = 0;
+    std::uint64_t bytes_down_total = 0;
 
     // Aggregates.
     double total_energy = 0.0;      //!< J over the whole campaign

@@ -100,6 +100,17 @@ class Client
                             const PerDeviceParams &params, double lr,
                             double work_fraction = 1.0) const;
 
+    /**
+     * Client-resident error-feedback residual for sparsifying update
+     * codecs (comm::TopKCodec): the untransmitted remainder of past
+     * updates, re-offered on the next participation. Empty until the
+     * client first encodes under such a codec. Mutable access is safe
+     * under the round pipeline's parallel Encode fan-out because a
+     * client participates at most once per round.
+     */
+    std::vector<float> &commResidual() { return comm_residual_; }
+    const std::vector<float> &commResidual() const { return comm_residual_; }
+
   private:
     std::size_t id_;
     device::Category category_;
@@ -108,6 +119,7 @@ class Client
     util::Rng rng_;
     device::InterferenceState interference_state_;
     device::NetworkState network_state_;
+    std::vector<float> comm_residual_;
 };
 
 } // namespace fl

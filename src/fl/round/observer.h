@@ -33,6 +33,7 @@ enum class Stage
 {
     Select,    //!< choose K participants + per-device (B, E)
     Train,     //!< real local SGD, fanned over the worker pool
+    Encode,    //!< update codec: encode/decode + traffic accounting
     Cost,      //!< analytic per-device time/energy (Eqs. 2-3)
     Recover,   //!< RecoveryPolicy: upload retries, backoff, give-ups
     Straggler, //!< StragglerPolicy: drops/scaling + round gating time
@@ -42,7 +43,7 @@ enum class Stage
 };
 
 /** Number of pipeline stages. */
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 9;
 
 /** Short stable label for a stage ("select", "train", ...). */
 const char *stageName(Stage stage);

@@ -30,11 +30,18 @@ RetryBackoffPolicy::apply(RoundContext &ctx)
             continue;
 
         // Attempt 1's airtime is part of the modeled base cost. Every
-        // failed attempt triggers one retransmission after a capped
-        // exponential backoff, up to the retry budget.
+        // failed attempt triggers one retransmission of the *encoded*
+        // payload after a capped exponential backoff, up to the retry
+        // budget — so a compressing codec shrinks the retry charge too.
+        // Contexts without an Encode record (strategy unit tests) fall
+        // back to the uncompressed payload.
+        const std::uint64_t payload =
+            i < ctx.comm.size() && ctx.comm[i].bytes_up > 0
+                ? ctx.comm[i].bytes_up
+                : static_cast<std::uint64_t>(ctx.param_bytes);
         const int retries = std::min(failures, config_.max_upload_retries);
-        const device::TxCost tx =
-            device::uploadCost(*ctx.cost_const, ctx.param_bytes, p.network);
+        const device::TxCost tx = device::uploadCost(
+            *ctx.cost_const, static_cast<std::size_t>(payload), p.network);
         for (int k = 0; k < retries; ++k) {
             const double wait = fault::FaultModel::backoff(config_, k);
             p.cost.t_comm += wait + tx.time;
@@ -49,6 +56,7 @@ RetryBackoffPolicy::apply(RoundContext &ctx)
             events.push_back(event);
         }
         p.upload_retries = retries;
+        p.bytes_up += static_cast<std::uint64_t>(retries) * payload;
         ctx.result.upload_retries += static_cast<std::size_t>(retries);
 
         if (failures > config_.max_upload_retries) {

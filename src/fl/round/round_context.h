@@ -1,8 +1,8 @@
 /**
  * @file
  * The mutable state of one aggregation round as it flows through the
- * RoundEngine's stage sequence (Select -> Train -> Cost -> Recover ->
- * Straggler -> Aggregate -> Energy -> Evaluate).
+ * RoundEngine's stage sequence (Select -> Train -> Encode -> Cost ->
+ * Recover -> Straggler -> Aggregate -> Energy -> Evaluate).
  *
  * The context points (non-owning) into the simulator that spawned the
  * round; stage strategies read and mutate only their slice of it. Unit
@@ -18,6 +18,8 @@
 #include <functional>
 #include <vector>
 
+#include "comm/codec.h"
+#include "comm/comm_model.h"
 #include "data/dataset.h"
 #include "device/cost_model.h"
 #include "fault/fault_model.h"
@@ -51,6 +53,15 @@ struct RoundContext
     std::vector<util::Rng> train_rngs;
 
     /**
+     * Pre-split comm streams for stochastic update codecs, parallel to
+     * `selected` — same derivation discipline as train_rngs (a pure
+     * function of (seed, round, client)), so encoding is bit-identical
+     * at any thread count. Empty when the codec is Identity/null (the
+     * Encode stage then touches no RNG at all).
+     */
+    std::vector<util::Rng> comm_rngs;
+
+    /**
      * Per-participant fault outcomes, parallel to `selected`. Drawn by
      * the Select stage on the caller thread when a fault model is
      * attached; empty otherwise (the zero-overhead default).
@@ -74,6 +85,13 @@ struct RoundContext
     runtime::WorkerContextPool *workers = nullptr;
     const device::WorkloadCost *cost_const = nullptr;
     const fault::FaultModel *fault_model = nullptr; //!< null = no faults
+    /**
+     * Update codec in force this round (non-owning; null behaves as
+     * Identity). Selected per round — the simulator points it at the
+     * configured codec, or at the policy's pick when the optimizer
+     * adapts the codec knob.
+     */
+    const comm::UpdateCodec *codec = nullptr;
     std::uint64_t train_flops = 0; //!< proxy-model FLOPs per sample
     std::size_t param_bytes = 0;   //!< one-way payload
     double lr = 0.0;               //!< effective learning rate
@@ -113,6 +131,16 @@ struct RoundContext
 
     /** Locally trained weights, parallel to `selected` (Train stage). */
     std::vector<Client::UpdateResult> updates;
+
+    /**
+     * Per-participant traffic, parallel to `selected` (Encode stage).
+     * After Encode, updates[i].weights already holds the *decoded*
+     * update (global weights + decode(encode(delta))), so every later
+     * consumer — divergence rejection, AcceptPartial scaling,
+     * TrimmedMean, FedAvg — operates on what the server actually
+     * received.
+     */
+    std::vector<comm::CommRecord> comm;
 
     /** The round's result, accumulated stage by stage. */
     RoundResult result;

@@ -21,6 +21,8 @@ stageName(Stage stage)
         return "select";
       case Stage::Train:
         return "train";
+      case Stage::Encode:
+        return "encode";
       case Stage::Cost:
         return "cost";
       case Stage::Recover:
@@ -82,6 +84,14 @@ RoundEngine::RoundEngine(std::unique_ptr<Aggregator> aggregator,
             std::string("round.") + stageName(static_cast<Stage>(s)));
     rounds_counter_ = obs::counterIf(obs::Level::Basic, "rounds.completed");
     aborts_counter_ = obs::counterIf(obs::Level::Basic, "rounds.aborted");
+    bytes_up_counter_ = obs::counterIf(obs::Level::Basic, "comm.bytes_up");
+    bytes_down_counter_ =
+        obs::counterIf(obs::Level::Basic, "comm.bytes_down");
+    encoded_counter_ =
+        obs::counterIf(obs::Level::Basic, "comm.encoded_updates");
+    ratio_hist_ = obs::histogramIf(obs::Level::Basic,
+                                   "comm.compression_ratio",
+                                   {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 }
 
 void
@@ -151,6 +161,7 @@ RoundEngine::run(RoundContext &ctx)
     for (RoundObserver *o : observers_)
         o->onRoundStart(ctx);
     timed(Stage::Train, [this](RoundContext &c) { stageTrain(c); });
+    timed(Stage::Encode, [this](RoundContext &c) { stageEncode(c); });
     timed(Stage::Cost, [this](RoundContext &c) { stageCost(c); });
     timed(Stage::Recover, [this](RoundContext &c) { stageRecover(c); });
     timed(Stage::Straggler,
@@ -254,6 +265,72 @@ RoundEngine::stageTrain(RoundContext &ctx)
 }
 
 void
+RoundEngine::stageEncode(RoundContext &ctx)
+{
+    // Traffic accounting runs for every round: the download is always
+    // the full global model, and an un-encoded upload ships param_bytes.
+    // A device that never came online moves no bytes; one that crashed
+    // mid-training downloaded the model but never reached the upload.
+    ctx.result.codec =
+        ctx.codec != nullptr ? ctx.codec->kind() : comm::Codec::Identity;
+    const std::uint64_t full =
+        static_cast<std::uint64_t>(ctx.param_bytes);
+    const bool real_codec =
+        ctx.codec != nullptr && ctx.codec->kind() != comm::Codec::Identity;
+    ctx.comm.assign(ctx.selected.size(), comm::CommRecord{});
+    for (std::size_t i = 0; i < ctx.selected.size(); ++i) {
+        if (!ctx.faults.empty() && ctx.faults[i].offline)
+            continue;
+        ctx.comm[i].bytes_down = full;
+        if (!ctx.faults.empty() && ctx.faults[i].crash)
+            continue;
+        ctx.comm[i].bytes_up =
+            real_codec ? ctx.codec->payloadBytes(
+                             ctx.global_weights->size())
+                       : full;
+    }
+    if (!real_codec)
+        return; // Identity: no delta math, bit-inert by construction
+
+    // Encode + decode each surviving update in place: after this stage
+    // updates[i].weights holds global + decode(encode(delta)), so the
+    // aggregation path sees exactly what the server received. The
+    // fan-out mutates only slot-private state (updates[i], the client's
+    // own residual — each client appears at most once per round) and
+    // draws only from the pre-split per-(round, client) comm stream, so
+    // the result is bit-identical at any thread count.
+    assert(ctx.pool != nullptr && ctx.clients != nullptr);
+    assert(ctx.global_weights != nullptr);
+    assert(ctx.comm_rngs.size() == ctx.selected.size());
+    const std::vector<float> &global = *ctx.global_weights;
+    ctx.pool->parallelFor(
+        ctx.selected.size(), [&ctx, &global](std::size_t i, std::size_t) {
+            if (!ctx.faults.empty() &&
+                (ctx.faults[i].offline || ctx.faults[i].crash))
+                return; // no update ever reaches the server
+            std::vector<float> &w = ctx.updates[i].weights;
+            assert(w.size() == global.size());
+            std::vector<float> delta(w.size());
+            for (std::size_t j = 0; j < w.size(); ++j)
+                delta[j] = w[j] - global[j];
+            Client &client = (*ctx.clients)[ctx.selected[i]];
+            comm::Encoded encoded;
+            ctx.codec->encode(delta, client.commResidual(),
+                              ctx.comm_rngs[i], encoded);
+            ctx.codec->decode(encoded, delta);
+            for (std::size_t j = 0; j < w.size(); ++j)
+                w[j] = global[j] + delta[j];
+            ctx.comm[i].bytes_up = encoded.payload_bytes;
+            ctx.comm[i].encoded = true;
+        });
+    std::uint64_t encoded_updates = 0;
+    for (const comm::CommRecord &r : ctx.comm)
+        if (r.encoded)
+            ++encoded_updates;
+    obs::addCount(encoded_counter_, encoded_updates);
+}
+
+void
 RoundEngine::stageCost(RoundContext &ctx)
 {
     assert(ctx.clients != nullptr && ctx.cost_const != nullptr);
@@ -267,6 +344,12 @@ RoundEngine::stageCost(RoundContext &ctx)
         work.batch = ctx.params[i].batch;
         work.epochs = ctx.params[i].epochs;
         work.param_bytes = ctx.param_bytes;
+        // Uplink payload from the Encode stage's traffic record; 0 (a
+        // device that never reached the upload) falls back to the
+        // uncompressed default inside the cost model — the crash branch
+        // below then charges only the download anyway.
+        if (i < ctx.comm.size())
+            work.upload_bytes = ctx.comm[i].bytes_up;
 
         ClientRoundReport report;
         report.client_id = c.id();
@@ -279,6 +362,10 @@ RoundEngine::stageCost(RoundContext &ctx)
         report.cost = device::clientRoundCost(
             device::profileFor(c.category()), *ctx.cost_const, work,
             c.interference(), c.network());
+        if (i < ctx.comm.size()) {
+            report.bytes_up = ctx.comm[i].bytes_up;
+            report.bytes_down = ctx.comm[i].bytes_down;
+        }
 
         if (!ctx.faults.empty()) {
             const fault::FaultDraw &draw = ctx.faults[i];
@@ -291,14 +378,21 @@ RoundEngine::stageCost(RoundContext &ctx)
             } else if (draw.crash) {
                 // Crashed after the download, at crash_fraction of the
                 // local work: charge the completed compute and the
-                // download half of the exchange; the upload never
+                // download leg of the exchange; the upload never
                 // happened. The update is lost, but the report
                 // surfaces the completed fraction via update_scale.
+                // (With an uncompressed upload the download fraction is
+                // exactly 0.5, bit-identical to the former *= 0.5.)
                 const double f = draw.crash_fraction;
+                const double f_down =
+                    report.cost.t_comm > 0.0
+                        ? report.cost.t_comm_down / report.cost.t_comm
+                        : 0.0;
                 report.cost.t_comp *= f;
                 report.cost.e_comp *= f;
-                report.cost.t_comm *= 0.5;
-                report.cost.e_comm *= 0.5;
+                report.cost.t_comm *= f_down;
+                report.cost.e_comm *= f_down;
+                report.cost.t_comm_up = 0.0;
                 report.cost.t_round =
                     report.cost.t_comp + report.cost.t_comm;
                 report.cost.e_total =
@@ -393,6 +487,20 @@ RoundEngine::stageEnergy(RoundContext &ctx)
             p.cost.e_total += p.cost.e_wait;
         }
     }
+
+    // Fleet traffic totals (exact integer bytes; retransmissions from
+    // the Recover stage are already folded into each report).
+    const std::uint64_t full = static_cast<std::uint64_t>(ctx.param_bytes);
+    for (const auto &p : result.participants) {
+        result.bytes_up_total += p.bytes_up;
+        result.bytes_down_total += p.bytes_down;
+        if (ratio_hist_ != nullptr && p.bytes_up > 0)
+            ratio_hist_->add(comm::CommModel::compressionRatio(
+                full + static_cast<std::uint64_t>(p.upload_retries) * full,
+                p.bytes_up));
+    }
+    obs::addCount(bytes_up_counter_, result.bytes_up_total);
+    obs::addCount(bytes_down_counter_, result.bytes_down_total);
 
     // Fleet-wide energy bookkeeping (Eqs. 4-6).
     std::vector<bool> participating(ctx.clients->size(), false);

@@ -3,8 +3,8 @@
  * The staged round engine: Algorithm 1's server loop decomposed into an
  * explicit stage sequence over a RoundContext —
  *
- *   Select -> Train -> Cost -> Recover -> Straggler -> Aggregate
- *          -> Energy -> Evaluate
+ *   Select -> Train -> Encode -> Cost -> Recover -> Straggler
+ *          -> Aggregate -> Energy -> Evaluate
  *
  * with the three policy-bearing stages (upload recovery, straggler
  * handling, aggregation) pluggable and every stage reported to
@@ -91,6 +91,7 @@ class RoundEngine
   private:
     void stageSelect(RoundContext &ctx);
     void stageTrain(RoundContext &ctx);
+    void stageEncode(RoundContext &ctx);
     void stageCost(RoundContext &ctx);
     void stageRecover(RoundContext &ctx);
     void stageStraggler(RoundContext &ctx);
@@ -110,6 +111,12 @@ class RoundEngine
     std::array<obs::SpanNode *, kStageCount> stage_spans_{};
     obs::Counter *rounds_counter_ = nullptr;
     obs::Counter *aborts_counter_ = nullptr;
+    // comm.* probes: fleet traffic counters plus the per-client
+    // compression-ratio distribution. Null when metrics are off.
+    obs::Counter *bytes_up_counter_ = nullptr;
+    obs::Counter *bytes_down_counter_ = nullptr;
+    obs::Counter *encoded_counter_ = nullptr;
+    obs::Histogram *ratio_hist_ = nullptr;
 };
 
 } // namespace round

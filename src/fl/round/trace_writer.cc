@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "comm/codec.h"
+#include "fl/round/round_context.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -51,7 +53,6 @@ void
 JsonlTraceWriter::onClientReport(const RoundContext &ctx,
                                  const ClientRoundReport &report)
 {
-    (void)ctx;
     std::string r = "{\"id\":" + std::to_string(report.client_id);
     r += ",\"tier\":\"" + device::categoryName(report.category) + "\"";
     r += ",\"batch\":" + std::to_string(report.params.batch);
@@ -67,6 +68,24 @@ JsonlTraceWriter::onClientReport(const RoundContext &ctx,
          std::string(dropReasonName(report.drop_reason)) + "\"";
     r += ",\"update_scale\":" + num(report.update_scale);
     r += ",\"retries\":" + std::to_string(report.upload_retries);
+    // Traffic accounting (integers — util::json reads them back exactly
+    // through asInt64). compression_ratio is uncompressed-payload bytes
+    // over the bytes actually sent up, 0 when nothing was uploaded.
+    r += ",\"bytes_up\":" + std::to_string(report.bytes_up);
+    r += ",\"bytes_down\":" + std::to_string(report.bytes_down);
+    r += ",\"codec\":\"" +
+         std::string(comm::codecName(ctx.codec ? ctx.codec->kind()
+                                               : comm::Codec::Identity)) +
+         "\"";
+    // Retransmissions inflate both sides the same way, so the ratio
+    // stays the codec's, not the fault model's.
+    const double ratio =
+        report.bytes_up > 0
+            ? static_cast<double>(ctx.param_bytes) *
+                  static_cast<double>(1 + report.upload_retries) /
+                  static_cast<double>(report.bytes_up)
+            : 0.0;
+    r += ",\"compression_ratio\":" + num(ratio);
     r += "}";
     client_records_.push_back(std::move(r));
 }
@@ -129,6 +148,9 @@ JsonlTraceWriter::onRoundEnd(const RoundResult &result)
     out_ << ",\"dropped_crashed\":" << result.dropped_crashed;
     out_ << ",\"dropped_upload\":" << result.dropped_upload;
     out_ << ",\"upload_retries\":" << result.upload_retries;
+    out_ << ",\"codec\":\"" << comm::codecName(result.codec) << "\"";
+    out_ << ",\"bytes_up_total\":" << result.bytes_up_total;
+    out_ << ",\"bytes_down_total\":" << result.bytes_down_total;
     out_ << ",\"aborted\":" << (result.aborted ? "true" : "false");
     out_ << ",\"faults\":[";
     for (std::size_t i = 0; i < fault_records_.size(); ++i) {

@@ -85,6 +85,13 @@ FlSimulator::FlSimulator(const FlConfig &config)
             return models::buildModel(workload, seed ^ 7);
         });
 
+    // One codec instance per level, built from the configured knobs, so
+    // a per-round codec switch (the FedGPO fourth knob) is a pointer
+    // swap. Construction draws no randomness.
+    for (std::size_t c = 0; c < comm::kNumCodecs; ++c)
+        codecs_[c] =
+            comm::makeCodec(static_cast<comm::Codec>(c), config_.comm);
+
     // Round pipeline with the paper's default strategies; upload
     // recovery follows the configured fault knobs (inert by default).
     engine_ = std::make_unique<round::RoundEngine>(
@@ -159,6 +166,10 @@ FlSimulator::predictedRoundTime(std::size_t client_id,
     work.batch = params.batch;
     work.epochs = params.epochs;
     work.param_bytes = param_bytes_;
+    // Predictions see the configured codec's payload (Identity yields
+    // exactly param_bytes, keeping the pre-codec numbers bit-identical).
+    work.upload_bytes =
+        codecFor(config_.comm.codec).payloadBytes(global_weights_.size());
     auto cost = device::clientRoundCost(
         device::profileFor(c.category()), device::costFor(config_.workload),
         work, c.interference(), c.network());
@@ -181,6 +192,7 @@ FlSimulator::makeRoundContext()
     ctx.pool = pool_.get();
     ctx.workers = workers_.get();
     ctx.cost_const = &device::costFor(config_.workload);
+    ctx.codec = &codecFor(config_.comm.codec);
     ctx.train_flops = train_flops_;
     ctx.param_bytes = param_bytes_;
     ctx.lr = lr_;
@@ -207,6 +219,9 @@ FlSimulator::makeRoundContext()
             c.selected.push_back(id);
             c.params.push_back(c.params[slot]);
             c.train_rngs.push_back(trainRng(id));
+            if (c.codec != nullptr &&
+                c.codec->kind() != comm::Codec::Identity)
+                c.comm_rngs.push_back(commRng(id));
             return true;
         };
     }
@@ -234,6 +249,16 @@ FlSimulator::fillTrainRngs(round::RoundContext &ctx) const
         ctx.train_rngs.push_back(trainRng(id));
 }
 
+void
+FlSimulator::fillCommRngs(round::RoundContext &ctx) const
+{
+    if (ctx.codec == nullptr || ctx.codec->kind() == comm::Codec::Identity)
+        return;
+    ctx.comm_rngs.reserve(ctx.selected.size());
+    for (std::size_t id : ctx.selected)
+        ctx.comm_rngs.push_back(commRng(id));
+}
+
 RoundResult
 FlSimulator::runRound(optim::ParamOptimizer &policy)
 {
@@ -246,7 +271,13 @@ FlSimulator::runRound(optim::ParamOptimizer &policy)
         c.params = policy.assign(observations, census_);
         assert(c.params.size() == c.selected.size());
         validateParams(c.params);
+        // The codec is the round's fourth knob: policies that adapt it
+        // pick a level from the state assign() just observed; the
+        // default passthrough keeps the configured codec (and, with
+        // Identity, the pre-codec RNG consumption) untouched.
+        c.codec = &codecFor(policy.chooseCodec(config_.comm.codec));
         fillTrainRngs(c);
+        fillCommRngs(c);
     };
     // Feedback runs inside the engine (after Evaluate, before observers
     // see onRoundEnd) so the policy's decision record — reward terms
@@ -274,6 +305,7 @@ FlSimulator::runRoundWithParams(const GlobalParams &params)
         c.params.assign(c.selected.size(),
                         PerDeviceParams{params.batch, params.epochs});
         fillTrainRngs(c);
+        fillCommRngs(c);
     };
     RoundResult result = engine_->run(ctx);
     last_accuracy_ = result.test_accuracy;
@@ -287,6 +319,18 @@ FlSimulator::trainRng(std::size_t client_id) const
     // nothing consumed elsewhere; the xor constant keeps the root state
     // distinct from the selection/data/partition streams of rng_.
     util::Rng root(config_.seed ^ 0x7452414e474eULL); // "TRaNGN"
+    util::Rng round_stream = root.split(static_cast<std::uint64_t>(round_));
+    return round_stream.split(client_id);
+}
+
+util::Rng
+FlSimulator::commRng(std::size_t client_id) const
+{
+    // Same chain as trainRng under a distinct root constant: the codec
+    // stream is a pure function of (seed, round, client), decorrelated
+    // from every other stream, and consumed only when a stochastic
+    // codec actually encodes.
+    util::Rng root(config_.seed ^ 0x434f4d4d434eULL); // "COMMCN"
     util::Rng round_stream = root.split(static_cast<std::uint64_t>(round_));
     return round_stream.split(client_id);
 }

@@ -17,9 +17,11 @@
 #ifndef FEDGPO_FL_SIMULATOR_H_
 #define FEDGPO_FL_SIMULATOR_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
+#include "comm/codec.h"
 #include "data/dataset.h"
 #include "data/partition.h"
 #include "device/network_model.h"
@@ -60,6 +62,14 @@ struct FlConfig
      * the round pipeline bit-identical to a fault-free build.
      */
     fault::FaultConfig faults;
+
+    /**
+     * Update-codec knobs (codec level, top-k fraction, quantization
+     * chunk). The Identity default keeps every round bit-identical to a
+     * codec-less build; optimizers may override the level per round via
+     * ParamOptimizer::chooseCodec when they adapt the fourth knob.
+     */
+    comm::CommConfig comm;
 
     /**
      * Worker threads for parallel client training (0 = auto: the
@@ -154,6 +164,16 @@ class FlSimulator
     /** One-way parameter payload in (proxy) bytes. */
     std::size_t paramBytes() const { return param_bytes_; }
 
+    /**
+     * The codec instance serving one level (all three are built up
+     * front from FlConfig::comm so a policy can switch level per round
+     * without reallocations mid-campaign).
+     */
+    const comm::UpdateCodec &codecFor(comm::Codec codec) const
+    {
+        return *codecs_[static_cast<std::size_t>(codec)];
+    }
+
     /** Effective worker-thread count of the execution engine. */
     std::size_t threads() const { return pool_->size(); }
 
@@ -175,6 +195,13 @@ class FlSimulator
     /** Fill ctx.train_rngs for the already-made selection. */
     void fillTrainRngs(round::RoundContext &ctx) const;
 
+    /**
+     * Fill ctx.comm_rngs for the already-made selection when the
+     * round's codec is stochastic (non-Identity); no-op otherwise, so
+     * default-configured rounds touch no extra randomness at all.
+     */
+    void fillCommRngs(round::RoundContext &ctx) const;
+
     /** Reject non-positive per-device (B, E) with a clear fatal error. */
     void validateParams(const std::vector<PerDeviceParams> &params) const;
 
@@ -185,6 +212,14 @@ class FlSimulator
      * identical randomness.
      */
     util::Rng trainRng(std::size_t client_id) const;
+
+    /**
+     * Comm stream for one client in the current round — same derivation
+     * discipline as trainRng (pure function of (seed, round, client))
+     * under its own root constant, so codec randomness never perturbs
+     * the training, selection, or fault streams.
+     */
+    util::Rng commRng(std::size_t client_id) const;
 
     FlConfig config_;
     util::Rng rng_;
@@ -198,6 +233,8 @@ class FlSimulator
     nn::LayerCensus census_;
     std::vector<Client> clients_;
     device::NetworkModel network_model_;
+    std::array<std::unique_ptr<comm::UpdateCodec>, comm::kNumCodecs>
+        codecs_;
     std::vector<float> global_weights_;
     std::uint64_t train_flops_ = 0;
     std::size_t param_bytes_ = 0;

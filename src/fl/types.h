@@ -8,9 +8,11 @@
 #define FEDGPO_FL_TYPES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "comm/codec.h"
 #include "device/cost_model.h"
 #include "device/device_profile.h"
 #include "device/interference.h"
@@ -118,6 +120,16 @@ struct ClientRoundReport
 
     /** Upload retransmissions this round (fault injection). */
     int upload_retries = 0;
+
+    /**
+     * Modeled uplink traffic in exact proxy bytes: the encoded update
+     * payload, including every retransmission. 0 for a device that
+     * never reached the upload (offline, crashed).
+     */
+    std::uint64_t bytes_up = 0;
+
+    /** Modeled downlink traffic (full global model; 0 when offline). */
+    std::uint64_t bytes_down = 0;
 };
 
 /**
@@ -141,6 +153,11 @@ struct RoundResult
     std::size_t dropped_upload = 0;    //!< upload retries exhausted
     std::size_t upload_retries = 0;    //!< total retransmissions
     std::size_t samples_aggregated = 0;
+
+    /** Update codec in force this round. */
+    comm::Codec codec = comm::Codec::Identity;
+    std::uint64_t bytes_up_total = 0;   //!< fleet uplink bytes (exact)
+    std::uint64_t bytes_down_total = 0; //!< fleet downlink bytes (exact)
 
     /**
      * True when the quorum gate aborted the round before aggregation:

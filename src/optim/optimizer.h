@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/codec.h"
 #include "fl/types.h"
 #include "nn/model.h"
 #include "obs/decision.h"
@@ -54,6 +55,21 @@ class ParamOptimizer
     virtual std::vector<fl::PerDeviceParams>
     assign(const std::vector<fl::DeviceObservation> &devices,
            const nn::LayerCensus &census) = 0;
+
+    /**
+     * Update-codec level for the upcoming round — FedGPO's fourth knob.
+     * Called by the simulator after assign(), so a learning policy can
+     * condition the choice on the state it just observed. The default
+     * passes the scenario-configured codec through unchanged, which
+     * keeps every existing policy (and its RNG stream) bit-identical.
+     *
+     * @param configured The codec from FlConfig::comm.
+     */
+    virtual comm::Codec
+    chooseCodec(comm::Codec configured)
+    {
+        return configured;
+    }
 
     /** Learning signal after the round completes. */
     virtual void feedback(const fl::RoundResult &result) = 0;

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace fedgpo {
@@ -274,6 +275,18 @@ class JsonParser
         }
         out.type_ = JsonValue::Type::Number;
         out.number_ = value;
+        // Pure-integer tokens additionally keep their exact int64 value:
+        // byte counters in the traces exceed double's 2^53 integer range
+        // in principle, and asInt64() must round-trip them losslessly.
+        if (token.find_first_of(".eE") == std::string::npos) {
+            errno = 0;
+            char *iend = nullptr;
+            const long long exact = std::strtoll(token.c_str(), &iend, 10);
+            if (errno == 0 && iend != nullptr && *iend == '\0') {
+                out.is_int_ = true;
+                out.int_ = exact;
+            }
+        }
         return true;
     }
 };

@@ -12,6 +12,7 @@
 #define FEDGPO_UTIL_JSON_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,6 +52,25 @@ class JsonValue
     double asNumber() const { return isNumber() ? number_ : 0.0; }
     const std::string &asString() const { return string_; }
 
+    /**
+     * True when the number was written as a pure integer token (no '.',
+     * no exponent) that fits an int64 — its exact value is then available
+     * through asInt64(), lossless beyond double's 2^53 integer range.
+     * Byte counters in the round traces rely on this.
+     */
+    bool isInteger() const { return isNumber() && is_int_; }
+
+    /**
+     * The exact integer value. Falls back to truncating the double for
+     * numbers not stored as integers; 0 for non-numbers.
+     */
+    std::int64_t asInt64() const
+    {
+        if (!isNumber())
+            return 0;
+        return is_int_ ? int_ : static_cast<std::int64_t>(number_);
+    }
+
     /** Element count of an array or object; 0 otherwise. */
     std::size_t size() const;
 
@@ -78,6 +98,8 @@ class JsonValue
     Type type_ = Type::Null;
     bool bool_ = false;
     double number_ = 0.0;
+    bool is_int_ = false;
+    std::int64_t int_ = 0;
     std::string string_;
     std::vector<JsonValue> array_;
     std::vector<std::pair<std::string, JsonValue>> object_;

@@ -180,6 +180,47 @@ TEST(CostModel, CommTimeTracksBandwidth)
         << "weak signal costs more than the airtime ratio alone";
 }
 
+TEST(CostModel, UploadBytesShrinkOnlyTheUplink)
+{
+    // upload_bytes models an encoded payload: the uplink airtime scales
+    // with it while the downlink still ships the full param_bytes, and
+    // the down/up split sums exactly to t_comm.
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    InterferenceState calm;
+    NetworkState net{50.0, 0.9};
+    auto full = defaultWork();
+    auto compressed = defaultWork();
+    compressed.upload_bytes = full.param_bytes / 4;
+
+    const auto cf = clientRoundCost(profileFor(Category::Mid), cost, full,
+                                    calm, net);
+    const auto cc = clientRoundCost(profileFor(Category::Mid), cost,
+                                    compressed, calm, net);
+    EXPECT_DOUBLE_EQ(cf.t_comm, cf.t_comm_down + cf.t_comm_up);
+    EXPECT_DOUBLE_EQ(cc.t_comm, cc.t_comm_down + cc.t_comm_up);
+    EXPECT_DOUBLE_EQ(cc.t_comm_down, cf.t_comm_down);
+    EXPECT_NEAR(cc.t_comm_up, cf.t_comm_up / 4.0, 1e-12);
+    EXPECT_LT(cc.e_comm, cf.e_comm);
+    EXPECT_DOUBLE_EQ(cc.t_comp, cf.t_comp);
+    // upload_bytes == 0 means "uncompressed": identical to the default.
+    auto explicit_full = defaultWork();
+    explicit_full.upload_bytes = explicit_full.param_bytes;
+    const auto ce = clientRoundCost(profileFor(Category::Mid), cost,
+                                    explicit_full, calm, net);
+    EXPECT_DOUBLE_EQ(ce.t_comm, cf.t_comm);
+    EXPECT_DOUBLE_EQ(ce.e_comm, cf.e_comm);
+}
+
+TEST(CostModel, UploadCostScalesLinearlyInPayload)
+{
+    const auto &cost = costFor(models::Workload::CnnMnist);
+    NetworkState net{25.0, 0.7};
+    const TxCost one = uploadCost(cost, 10000, net);
+    const TxCost four = uploadCost(cost, 40000, net);
+    EXPECT_NEAR(four.time / one.time, 4.0, 1e-9);
+    EXPECT_NEAR(four.energy / one.energy, 4.0, 1e-9);
+}
+
 TEST(CostModel, EnergyComponentsSum)
 {
     const auto &cost = costFor(models::Workload::MobileNetImageNet);

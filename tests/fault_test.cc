@@ -313,6 +313,51 @@ TEST(RetryBackoffPolicy, ChargesHandComputedTimeAndEnergy)
     EXPECT_DOUBLE_EQ(events[1].backoff_s, 1.0);
 }
 
+TEST(RetryBackoffPolicy, RetransmitsEncodedPayloadBytes)
+{
+    // With an Encode record present, every retransmission ships the
+    // *encoded* payload: the retry airtime shrinks with the codec and the
+    // retransmitted bytes land in the client's upload counter.
+    FaultConfig config;
+    config.max_upload_retries = 3;
+    config.backoff_base_s = 0.5;
+    config.backoff_cap_s = 8.0;
+
+    device::RoundCost base;
+    base.t_comm = 2.0;
+    base.t_round = 2.0;
+    base.e_comm = 4.0;
+    base.e_total = 4.0;
+
+    RoundContext ctx = contextWithUploadFailures(2, base);
+    const std::uint64_t encoded_bytes = 2516; // e.g. int8: n + scales
+    comm::CommRecord record;
+    record.bytes_up = encoded_bytes;
+    record.bytes_down = ctx.param_bytes;
+    record.encoded = true;
+    ctx.comm.push_back(record);
+    ctx.result.participants[0].bytes_up = encoded_bytes;
+
+    RetryBackoffPolicy policy(config);
+    policy.apply(ctx);
+
+    const device::TxCost full = device::uploadCost(
+        *ctx.cost_const, ctx.param_bytes,
+        ctx.result.participants[0].network);
+    const device::TxCost enc = device::uploadCost(
+        *ctx.cost_const, static_cast<std::size_t>(encoded_bytes),
+        ctx.result.participants[0].network);
+    ASSERT_LT(enc.time, full.time);
+
+    // Hand-computed: backoffs 0.5 and 1.0, one *encoded* airtime each.
+    const ClientRoundReport &p = ctx.result.participants[0];
+    EXPECT_DOUBLE_EQ(p.cost.t_comm, 2.0 + (0.5 + enc.time) +
+                                        (1.0 + enc.time));
+    EXPECT_DOUBLE_EQ(p.cost.e_comm, 4.0 + 2.0 * enc.energy);
+    EXPECT_EQ(p.bytes_up, encoded_bytes + 2 * encoded_bytes);
+    EXPECT_EQ(p.upload_retries, 2);
+}
+
 TEST(RetryBackoffPolicy, ExhaustedRetriesDropTheUpdateButKeepTheEnergy)
 {
     FaultConfig config;

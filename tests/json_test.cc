@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -129,6 +130,33 @@ TEST(JsonParse, WhitespaceTolerant)
 {
     const JsonValue v = mustParse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
     EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, IntegerTokensRoundTripLosslessly)
+{
+    // 2^53 + 1 is not representable as a double; asInt64 must still read
+    // it back exactly (byte counters in the round traces rely on this).
+    const JsonValue v =
+        mustParse("{\"bytes\":9007199254740993,\"neg\":-42}");
+    EXPECT_TRUE(v.at("bytes").isInteger());
+    EXPECT_EQ(v.at("bytes").asInt64(), 9007199254740993LL);
+    EXPECT_NE(static_cast<std::int64_t>(v.at("bytes").asNumber()),
+              9007199254740993LL)
+        << "the double path alone must not be able to represent this";
+    EXPECT_EQ(v.at("neg").asInt64(), -42);
+}
+
+TEST(JsonParse, NonIntegerTokensAreNotIntegers)
+{
+    const JsonValue v =
+        mustParse("{\"a\":1.5,\"b\":1e3,\"c\":2.0,\"d\":7}");
+    EXPECT_FALSE(v.at("a").isInteger());
+    EXPECT_FALSE(v.at("b").isInteger());
+    EXPECT_FALSE(v.at("c").isInteger());
+    EXPECT_TRUE(v.at("d").isInteger());
+    // asInt64 still degrades gracefully for doubles and non-numbers.
+    EXPECT_EQ(v.at("a").asInt64(), 1);
+    EXPECT_EQ(v.at("missing").asInt64(), 0);
 }
 
 } // namespace

@@ -136,7 +136,7 @@ TEST(RoundObserverOrdering, StagesFireInPipelineOrder)
             stages.push_back(e.substr(6));
     ASSERT_EQ(stages.size(), round::kStageCount);
     const std::vector<std::string> expected = {
-        "select", "train",     "cost",   "recover",
+        "select",    "train",     "encode", "cost",   "recover",
         "straggler", "aggregate", "energy", "evaluate"};
     EXPECT_EQ(stages, expected);
 }

@@ -128,9 +128,13 @@ constexpr GoldenCase kCases[] = {
 constexpr int kRounds = 5;
 
 void
-expectGoldenTrace(std::size_t threads, const GoldenCase &golden_case)
+expectGoldenTrace(std::size_t threads, const GoldenCase &golden_case,
+                  const comm::CommConfig *comm_config = nullptr)
 {
-    FlSimulator sim(goldenConfig(golden_case.workload, threads));
+    FlConfig config = goldenConfig(golden_case.workload, threads);
+    if (comm_config != nullptr)
+        config.comm = *comm_config;
+    FlSimulator sim(config);
     for (int r = 0; r < kRounds; ++r) {
         SCOPED_TRACE(std::string(golden_case.name) + " round " +
                      std::to_string(r + 1));
@@ -163,6 +167,21 @@ TEST_P(RoundGoldenTest, BitIdenticalToPreEngineTrace)
 {
     const auto [threads, golden_case] = GetParam();
     expectGoldenTrace(threads, golden_case);
+}
+
+TEST_P(RoundGoldenTest, BitIdenticalWithExplicitIdentityCodec)
+{
+    // The codec subsystem's inertness guarantee: an explicitly configured
+    // Identity codec — even with non-default knobs for the *other* codec
+    // levels — must replay the pre-codec goldens bit-for-bit at any
+    // thread count (the Encode stage takes its early-out before any
+    // delta arithmetic or RNG stream exists).
+    const auto [threads, golden_case] = GetParam();
+    comm::CommConfig comm_config;
+    comm_config.codec = comm::Codec::Identity;
+    comm_config.topk_fraction = 0.5;
+    comm_config.quant_chunk = 32;
+    expectGoldenTrace(threads, golden_case, &comm_config);
 }
 
 TEST_P(RoundGoldenTest, BitIdenticalUnderProfileMetrics)

@@ -383,9 +383,10 @@ TEST(RoundObserverStream, FullStageSequencePerRound)
     EXPECT_EQ(observer.client_reports, r.participants.size());
     ASSERT_EQ(observer.stages.size(), kStageCount);
     const Stage expected[] = {Stage::Select,    Stage::Train,
-                              Stage::Cost,      Stage::Recover,
-                              Stage::Straggler, Stage::Aggregate,
-                              Stage::Energy,    Stage::Evaluate};
+                              Stage::Encode,    Stage::Cost,
+                              Stage::Recover,   Stage::Straggler,
+                              Stage::Aggregate, Stage::Energy,
+                              Stage::Evaluate};
     for (std::size_t i = 0; i < kStageCount; ++i)
         EXPECT_EQ(observer.stages[i], expected[i]) << "stage " << i;
 

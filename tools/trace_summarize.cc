@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -70,6 +71,15 @@ struct Summary
     std::map<std::size_t, ClientAgg> clients;
     std::map<std::string, std::size_t> faults; //!< per fault kind
 
+    // Communication (rounds carrying byte counters; exact int64 sums).
+    std::uint64_t bytes_up_total = 0;
+    std::uint64_t bytes_down_total = 0;
+    std::size_t comm_rounds = 0;
+    RunningStat bytes_up_round;   //!< per-round upload bytes
+    RunningStat bytes_down_round; //!< per-round download bytes
+    RunningStat compression;      //!< per-client upload compression ratio
+    std::map<std::string, std::size_t> codec_rounds; //!< rounds per codec
+
     // FedGPO decision statistics (rounds carrying a `decision` section).
     std::size_t decision_rounds = 0;
     std::size_t k_explored = 0;
@@ -104,6 +114,18 @@ foldRound(const JsonValue &line, Summary &s)
     for (std::size_t i = 0; i < faults.size(); ++i)
         ++s.faults[faults.at(i).at("kind").asString()];
 
+    if (line.has("bytes_up_total")) {
+        ++s.comm_rounds;
+        // asInt64 keeps byte counters exact beyond double's 2^53 range.
+        const std::int64_t up = line.at("bytes_up_total").asInt64();
+        const std::int64_t down = line.at("bytes_down_total").asInt64();
+        s.bytes_up_total += static_cast<std::uint64_t>(up);
+        s.bytes_down_total += static_cast<std::uint64_t>(down);
+        s.bytes_up_round.add(static_cast<double>(up));
+        s.bytes_down_round.add(static_cast<double>(down));
+        ++s.codec_rounds[line.at("codec").asString()];
+    }
+
     const JsonValue &clients = line.at("clients");
     for (std::size_t i = 0; i < clients.size(); ++i) {
         const JsonValue &c = clients.at(i);
@@ -116,6 +138,9 @@ foldRound(const JsonValue &line, Summary &s)
             ++agg.dropped;
         agg.retries +=
             static_cast<std::size_t>(c.at("retries").asNumber());
+        if (c.has("compression_ratio") &&
+            c.at("compression_ratio").asNumber() > 0.0)
+            s.compression.add(c.at("compression_ratio").asNumber());
         agg.t_round.add(c.at("t_round").asNumber());
         agg.e_total.add(c.at("e_total").asNumber());
         agg.train_loss.add(c.at("train_loss").asNumber());
@@ -149,9 +174,9 @@ foldRound(const JsonValue &line, Summary &s)
 std::vector<std::string>
 orderedStages(const Summary &s)
 {
-    static const char *kOrder[] = {"select",    "train",     "cost",
-                                   "recover",   "straggler", "aggregate",
-                                   "energy",    "evaluate"};
+    static const char *kOrder[] = {"select",    "train",  "encode",
+                                   "cost",      "recover", "straggler",
+                                   "aggregate", "energy",  "evaluate"};
     std::vector<std::string> out;
     for (const char *name : kOrder)
         if (s.stage_ms.count(name) != 0)
@@ -253,6 +278,33 @@ writeReport(std::ostream &os, const Summary &s)
 
     os << "\n## Clients\n\n";
     clientRaw(s).markdown(os);
+
+    if (s.comm_rounds > 0) {
+        os << "\n## Communication\n\n";
+        os << "- bytes uploaded (total, exact): " << s.bytes_up_total
+           << "\n";
+        os << "- bytes downloaded (total, exact): " << s.bytes_down_total
+           << "\n";
+        os << "- upload bytes per round (mean/min/max): "
+           << fmt(s.bytes_up_round.mean(), 0) << " / "
+           << fmt(s.bytes_up_round.min(), 0) << " / "
+           << fmt(s.bytes_up_round.max(), 0) << "\n";
+        os << "- download bytes per round (mean): "
+           << fmt(s.bytes_down_round.mean(), 0) << "\n";
+        if (s.compression.count() > 0) {
+            os << "- upload compression ratio (mean/min/max over "
+               << s.compression.count()
+               << " uploads): " << fmt(s.compression.mean(), 2) << " / "
+               << fmt(s.compression.min(), 2) << " / "
+               << fmt(s.compression.max(), 2) << "\n";
+        }
+        os << "\n### Rounds per codec\n\n";
+        RawTable ct;
+        ct.header = {"codec", "rounds"};
+        for (const auto &[name, n] : s.codec_rounds)
+            ct.rows.push_back({name, std::to_string(n)});
+        ct.markdown(os);
+    }
 
     if (!s.faults.empty()) {
         os << "\n## Faults\n\n";
